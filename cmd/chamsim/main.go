@@ -1,0 +1,160 @@
+// Command chamsim regenerates the CHAM paper's evaluation tables and
+// figures from the simulators and calibrated device models.
+//
+// Usage:
+//
+//	chamsim             list the available experiments
+//	chamsim all         run every experiment
+//	chamsim verify      run the resource-model calibration checks
+//	chamsim hmvp m cols [N]  run a self-verifying HMVP and time it
+//	chamsim <id> ...    run specific experiments (e.g. table2 fig6)
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"cham"
+	"cham/internal/fpga"
+)
+
+func verify() int {
+	checks := map[string]func() error{
+		"Table II calibration":  fpga.CheckTable2Calibration,
+		"Table III calibration": fpga.CheckTable3Calibration,
+	}
+	code := 0
+	for name, fn := range checks {
+		if err := fn(); err != nil {
+			fmt.Printf("FAIL %s: %v\n", name, err)
+			code = 1
+		} else {
+			fmt.Printf("ok   %s\n", name)
+		}
+	}
+	return code
+}
+
+// runHMVP executes a self-verifying homomorphic matrix-vector product at
+// the requested shape and prints wall time next to the accelerator
+// model's prediction.
+func runHMVP(args []string) int {
+	m, cols, ringN := 8, 1024, 1024
+	parse := func(i int, dst *int) bool {
+		if len(args) > i {
+			v, err := strconv.Atoi(args[i])
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "chamsim: bad argument %q\n", args[i])
+				return false
+			}
+			*dst = v
+		}
+		return true
+	}
+	if !parse(0, &m) || !parse(1, &cols) || !parse(2, &ringN) {
+		return 1
+	}
+	params, err := cham.NewParams(ringN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chamsim:", err)
+		return 1
+	}
+	rng := cham.NewRNG(42)
+	sk := params.KeyGen(rng)
+	rows := m
+	if rows > ringN {
+		rows = ringN
+	}
+	ev, err := cham.NewEvaluator(params, rng, sk, rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chamsim:", err)
+		return 1
+	}
+	matrix := make([][]uint64, m)
+	for i := range matrix {
+		matrix[i] = make([]uint64, cols)
+		for j := range matrix[i] {
+			matrix[i][j] = rng.Uint64() % params.T.Q
+		}
+	}
+	vector := make([]uint64, cols)
+	for j := range vector {
+		vector[j] = rng.Uint64() % params.T.Q
+	}
+	ctV := cham.EncryptVector(params, rng, sk, vector)
+
+	start := time.Now()
+	res, err := ev.MatVec(matrix, ctV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chamsim:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	got := cham.DecryptResult(params, res, sk)
+	want := cham.PlainMatVec(params, matrix, vector)
+	for i := range want {
+		if got[i] != want[i] {
+			fmt.Fprintf(os.Stderr, "chamsim: VERIFICATION FAILED at row %d\n", i)
+			return 1
+		}
+	}
+	acc := cham.DefaultAccelerator()
+	fmt.Printf("HMVP %dx%d at N=%d: verified correct\n", m, cols, ringN)
+	fmt.Printf("  software (this host):      %v\n", elapsed)
+	if ringN == acc.N {
+		sim := acc.SimulateHMVP(m, cols)
+		fmt.Printf("  CHAM accelerator (model):  %.3f ms (%d cycles, %d pack reductions)\n",
+			1e3*sim.Seconds(acc.FreqMHz), sim.TotalCycles, sim.Merges)
+	} else {
+		fmt.Printf("  (accelerator model applies at N=%d)\n", acc.N)
+	}
+	return 0
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "verify" {
+		os.Exit(verify())
+	}
+	if len(args) >= 1 && args[0] == "hmvp" {
+		os.Exit(runHMVP(args[1:]))
+	}
+	if len(args) == 0 {
+		fmt.Println("chamsim — CHAM (DAC'23) experiment reproduction")
+		fmt.Println("\nusage: chamsim <experiment-id ...|all>")
+		fmt.Println("\navailable experiments:")
+		for _, id := range cham.Experiments() {
+			out, _ := cham.RunExperiment(id)
+			// First line of the rendered output carries the title.
+			fmt.Printf("  %-8s %s\n", id, firstLine(out))
+		}
+		return
+	}
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = cham.Experiments()
+	}
+	code := 0
+	for _, id := range ids {
+		out, err := cham.RunExperiment(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chamsim:", err)
+			code = 1
+			continue
+		}
+		fmt.Println(out)
+	}
+	os.Exit(code)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+// HeteroLR: train a vertically partitioned logistic regression with the
+// FATE-style protocol (the paper's §V-B.3 application). Party A and party
+// B hold disjoint feature sets; gradients are computed as homomorphic
+// matrix-vector products over the encrypted residual.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cham"
+	"cham/internal/apps/heterolr"
+)
+
+func main() {
+	rng := cham.NewRNG(2024)
+
+	codec, err := heterolr.NewCodec(256, 6) // ring degree 256, 6 fraction bits
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := heterolr.Synthetic(rng, 256, 6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d samples; party A holds %d features, party B holds %d + labels\n",
+		data.Samples(), data.FeaturesA(), data.FeaturesB())
+
+	trainer, err := heterolr.NewTrainer(codec, rng, 8, 1.2, data.FeaturesA()+data.FeaturesB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := trainer.Train(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for e, loss := range model.LossHistory {
+		fmt.Printf("epoch %d: logistic loss %.4f\n", e+1, loss)
+	}
+	fmt.Printf("training accuracy: %.1f%%\n", 100*model.Accuracy(data))
+	fmt.Println("every gradient was computed under encryption (CRT over two plaintext moduli)")
+}

@@ -1,0 +1,77 @@
+// Inference: Delphi-style private neural-network inference. The offline
+// phase generates one Beaver triple per linear layer with a CHAM HMVP;
+// the online phase evaluates the network on secret shares with no
+// homomorphic operations at all — the split that makes the paper's
+// triple-generation speed-up matter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cham"
+	"cham/internal/apps/beaver"
+	"cham/internal/apps/inference"
+)
+
+func main() {
+	params := cham.MustParams(64)
+	rng := cham.NewRNG(11)
+	sk := params.KeyGen(rng)
+	gen, err := beaver.NewGenerator(params, rng, sk, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 8-16-4 MLP with random weights (stand-in for a trained model).
+	dims := []int{8, 16, 4}
+	var weights [][][]float64
+	var biases [][]float64
+	for l := 1; l < len(dims); l++ {
+		w := make([][]float64, dims[l])
+		for i := range w {
+			w[i] = make([]float64, dims[l-1])
+			for j := range w[i] {
+				w[i][j] = rng.Float64()*2 - 1
+			}
+		}
+		weights = append(weights, w)
+		biases = append(biases, make([]float64, dims[l]))
+	}
+	nw, err := inference.NewNetwork(params, 4, weights, biases)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("offline phase: one CHAM HMVP per linear layer...")
+	pre, err := nw.Preprocess(gen, rng, sk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d layers preprocessed\n", len(pre.Client))
+
+	fmt.Println("online phase: share arithmetic only (no HE):")
+	for trial := 0; trial < 3; trial++ {
+		x := make([]float64, dims[0])
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		private, err := nw.Infer(pre, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref := nw.InferFloat(x)
+		fmt.Printf("  input %d: private argmax=%d, float argmax=%d (logits %.3f vs %.3f)\n",
+			trial, argmax(private), argmax(ref), private[argmax(private)], ref[argmax(ref)])
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,58 @@
+// Quickstart: encrypt a vector, run a homomorphic matrix-vector product
+// through the full CHAM pipeline (dot products, LWE extraction, packing),
+// decrypt, and check against the cleartext result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cham"
+)
+
+func main() {
+	// The paper's parameter family at a laptop-friendly degree. Use 4096
+	// for the production parameter set.
+	params := cham.MustParams(1024)
+	rng := cham.NewRNG(42)
+	sk := params.KeyGen(rng)
+
+	const m, n = 8, 1024
+	matrix := make([][]uint64, m)
+	for i := range matrix {
+		matrix[i] = make([]uint64, n)
+		for j := range matrix[i] {
+			matrix[i][j] = uint64(rng.Intn(1000))
+		}
+	}
+	vector := make([]uint64, n)
+	for j := range vector {
+		vector[j] = uint64(rng.Intn(1000))
+	}
+
+	// Party A encrypts her vector and ships it to party B, who owns the
+	// matrix (the paper's two-party model, §II-F).
+	ev, err := cham.NewEvaluator(params, rng, sk, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctV := cham.EncryptVector(params, rng, sk, vector)
+	fmt.Printf("encrypted %d-element vector into %d ciphertext(s)\n", n, len(ctV))
+
+	res, err := ev.MatVec(matrix, ctV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HMVP done: %d dot products packed into %d result ciphertext(s)\n",
+		m, len(res.Packed))
+
+	got := cham.DecryptResult(params, res, sk)
+	want := cham.PlainMatVec(params, matrix, vector)
+	for i := range want {
+		status := "ok"
+		if got[i] != want[i] {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  row %d: homomorphic=%6d  cleartext=%6d  %s\n", i, got[i], want[i], status)
+	}
+}

@@ -1,0 +1,48 @@
+// Runtime: the §III-C software stack in action. A simulated CHAM card is
+// configured to misbehave — corrupted register loads, a mid-stream hang,
+// intermittent job errors — and the runtime's RAS machinery (read-back
+// verified loads, watchdog reset, replay, health monitoring) delivers
+// every job anyway.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	chamrt "cham/internal/runtime"
+)
+
+func main() {
+	faults := chamrt.FaultPlan{
+		CorruptWriteEvery: 9,  // every 9th register write flips a bit
+		HangAfterJobs:     6,  // the card wedges after job 6
+		FailJobEvery:      11, // and sporadically reports job errors
+	}
+	dev := chamrt.NewDevice(2, 300*time.Microsecond, faults)
+	rt, err := chamrt.New(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.JobTimeout = 5 * time.Millisecond
+
+	fmt.Printf("CHAM card up: %d engines, fault plan %+v\n", rt.Engines(), faults)
+	const jobs = 20
+	for i := 0; i < jobs; i++ {
+		desc := &chamrt.HMVPDescriptor{
+			Rows: 4096, Cols: 4096,
+			MatrixAddr: 0x1000_0000, VectorAddr: 0x2000_0000,
+			KeyAddr: 0x3000_0000, ResultAddr: 0x4000_0000,
+			PackRowsLog2: 12,
+		}
+		if err := rt.RunHMVP(desc); err != nil {
+			log.Fatalf("job %d lost: %v", i, err)
+		}
+	}
+	sample := rt.HealthCheck()
+	fmt.Printf("all %d jobs completed\n", jobs)
+	fmt.Printf("RAS counters: %d replays, %d resets, %d recovered register loads\n",
+		rt.Replays(), rt.Resets(), rt.Driver().RecoveredWrites())
+	fmt.Printf("health: alive=%v temp=%.1fC jobsDone=%d\n",
+		sample.Alive, sample.TempC, sample.JobsDone)
+}

@@ -1,0 +1,3 @@
+module cham
+
+go 1.22

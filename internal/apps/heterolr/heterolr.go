@@ -1,0 +1,348 @@
+package heterolr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cham/internal/bfv"
+	"cham/internal/core"
+	"cham/internal/rlwe"
+)
+
+// The protocol, following FATE's HeteroLR (Hardy et al.):
+//
+//  1. Both parties compute their local logit shares u = X·w in the clear.
+//  2. Party A encrypts its share under the arbiter's key and sends it to
+//     party B.
+//  3. Party B homomorphically assembles the Taylor-approximated residual
+//     [d] = 1/4·([u_A] + u_B) + (1/2 - y)   (σ(u) ≈ 1/2 + u/4).
+//  4. Each party derives its gradient block as the HMVP X^T·[d] — the
+//     step CHAM accelerates.
+//  5. The arbiter decrypts the masked gradients and returns the updates.
+//
+// Fixed-point scales: logits at F bits, residuals at 2F after the 1/4
+// multiply, gradients at 3F after the HMVP. All values ride the CRT
+// plaintext pair, so the arithmetic is exact end to end (verified against
+// an integer reference in tests).
+
+// Trainer holds the cryptographic material and hyperparameters.
+type Trainer struct {
+	Codec  *Codec
+	Epochs int
+	LR     float64
+	L2     float64
+	// BatchSize enables mini-batch gradient descent (the paper's "if
+	// combined with the techniques of mini-batch and matrix tiling, our
+	// algorithm is able to support data of any scale"). 0 = full batch.
+	BatchSize int
+
+	rng *rand.Rand
+	sk  *rlwe.SecretKey // the arbiter's key
+	ev0 *core.Evaluator
+	ev1 *core.Evaluator
+}
+
+// NewTrainer generates the arbiter key and the HMVP evaluators. The
+// packing keys cover up to maxFeatures gradient rows.
+func NewTrainer(codec *Codec, rng *rand.Rand, epochs int, lr float64, maxFeatures int) (*Trainer, error) {
+	if epochs < 1 || lr <= 0 {
+		return nil, fmt.Errorf("heterolr: bad hyperparameters")
+	}
+	sk := codec.P0.KeyGen(rng)
+	ev0, err := core.NewEvaluator(codec.P0, rng, sk, maxFeatures)
+	if err != nil {
+		return nil, err
+	}
+	ev1, err := core.NewEvaluator(codec.P1, rng, sk, maxFeatures)
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{
+		Codec: codec, Epochs: epochs, LR: lr, L2: 1e-4,
+		rng: rng, sk: sk, ev0: ev0, ev1: ev1,
+	}, nil
+}
+
+// Model is the trained split weight vector.
+type Model struct {
+	WA, WB      []float64
+	LossHistory []float64
+}
+
+// PredictProb evaluates the logistic model on one sample.
+func (m *Model) PredictProb(xa, xb []float64) float64 {
+	u := 0.0
+	for i, x := range xa {
+		u += x * m.WA[i]
+	}
+	for i, x := range xb {
+		u += x * m.WB[i]
+	}
+	return 1 / (1 + math.Exp(-u))
+}
+
+// Accuracy is the 0/1 accuracy over the dataset.
+func (m *Model) Accuracy(d *Dataset) float64 {
+	correct := 0
+	for s := 0; s < d.Samples(); s++ {
+		p := m.PredictProb(d.XA[s], d.XB[s])
+		if (p > 0.5) == (d.Y[s] > 0.5) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Samples())
+}
+
+// channel bundles the per-plaintext-modulus machinery.
+type channel struct {
+	p  bfv.Params
+	ev *core.Evaluator
+}
+
+func (tr *Trainer) channels() [2]channel {
+	return [2]channel{{tr.Codec.P0, tr.ev0}, {tr.Codec.P1, tr.ev1}}
+}
+
+// Train runs the protocol and returns the model.
+func (tr *Trainer) Train(d *Dataset) (*Model, error) {
+	batch := tr.BatchSize
+	if batch <= 0 || batch > d.Samples() {
+		batch = d.Samples()
+	}
+	if err := tr.Codec.CheckHeadroom(batch, 4); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		WA: make([]float64, d.FeaturesA()),
+		WB: make([]float64, d.FeaturesB()),
+	}
+	for epoch := 0; epoch < tr.Epochs; epoch++ {
+		for base := 0; base < d.Samples(); base += batch {
+			end := base + batch
+			if end > d.Samples() {
+				end = d.Samples()
+			}
+			if err := tr.step(d, m, base, end); err != nil {
+				return nil, err
+			}
+		}
+		m.LossHistory = append(m.LossHistory, logisticLoss(d, m))
+	}
+	return m, nil
+}
+
+// step runs one gradient update over samples [base, end).
+func (tr *Trainer) step(d *Dataset, m *Model, base, end int) error {
+	quarter := uint64(1) << (tr.Codec.F - 2) // 1/4 at scale F
+	xa := d.XA[base:end]
+	xb := d.XB[base:end]
+	y := d.Y[base:end]
+
+	// Quantized feature matrices for this batch, transposed: gradient
+	// rows = features (the matrix-tiling boundary).
+	xaT := quantizeTranspose(tr.Codec, xa)
+	xbT := quantizeTranspose(tr.Codec, xb)
+
+	// Step 1: local logit shares (clear), quantized at scale F.
+	uA := matVecFloat(xa, m.WA)
+	uB := matVecFloat(xb, m.WB)
+
+	// Random masks: the parties blind the packed gradients before the
+	// arbiter decrypts, so the arbiter only ever sees g + mask mod t
+	// (FATE's secure-aggregation discipline).
+	features := d.FeaturesA() + d.FeaturesB()
+	masks := make([]int64, features)
+	for i := range masks {
+		masks[i] = int64(tr.rng.Uint64() % (1 << 40))
+	}
+
+	var gInt [2][]uint64 // per channel, packed gradient residues
+	for ci, ch := range tr.channels() {
+		// Step 2: A encrypts its quantized logits.
+		uaq := make([]uint64, len(uA))
+		for s, u := range uA {
+			uaq[s] = ch.p.T.FromCentered(tr.Codec.Quantize(u))
+		}
+		ctU := core.EncryptVector(ch.p, tr.rng, tr.sk, uaq)
+
+		// Step 3: B assembles the residual homomorphically.
+		ctD := tr.assembleResidual(ch, ctU, uB, y, quarter)
+
+		// Step 4: gradient blocks for both parties, one packed HMVP
+		// over the stacked feature rows.
+		stacked := append(append([][]uint64{}, xaT[ci]...), xbT[ci]...)
+		res, err := ch.ev.MatVec(stacked, ctD)
+		if err != nil {
+			return err
+		}
+		// Step 4b: blind the packed gradients.
+		maskPackedResult(ch.p, res, masks)
+		// Step 5: the arbiter decrypts the MASKED gradients; the parties
+		// remove their masks locally.
+		masked := core.DecryptResult(ch.p, res, tr.sk)
+		gInt[ci] = make([]uint64, len(masked))
+		for i := range masked {
+			gInt[ci][i] = ch.p.T.Sub(masked[i], ch.p.T.FromCentered(masks[i]))
+		}
+	}
+
+	// Decode gradients at depth 3 (x·(quarter·u)) and update.
+	n := float64(end - base)
+	for i := 0; i < d.FeaturesA(); i++ {
+		g := tr.Codec.Decode(gInt[0][i], gInt[1][i], 3) / n
+		m.WA[i] -= tr.LR * (g + tr.L2*m.WA[i])
+	}
+	for i := 0; i < d.FeaturesB(); i++ {
+		j := d.FeaturesA() + i
+		g := tr.Codec.Decode(gInt[0][j], gInt[1][j], 3) / n
+		m.WB[i] -= tr.LR * (g + tr.L2*m.WB[i])
+	}
+	return nil
+}
+
+// assembleResidual computes [d] = quarter·([uA] + uB) + (1/2-y)·2^(2F)
+// chunk-wise on party B, keeping the augmented basis for the HMVP.
+func (tr *Trainer) assembleResidual(ch channel, ctU []*rlwe.Ciphertext, uB, y []float64, quarter uint64) []*rlwe.Ciphertext {
+	n := ch.p.R.N
+	out := make([]*rlwe.Ciphertext, len(ctU))
+	for c := range ctU {
+		lo := c * n
+		hi := lo + n
+		if hi > len(uB) {
+			hi = len(uB)
+		}
+		// uB chunk at scale F.
+		ubq := ch.p.NewPlaintext()
+		for s := lo; s < hi; s++ {
+			ubq.Coeffs[s-lo] = ch.p.T.FromCentered(tr.Codec.Quantize(uB[s]))
+		}
+		ct := ctU[c].Copy()
+		ch.p.AddPlain(ct, ubq)
+		// Multiply by 1/4 at scale F: values move to scale 2F.
+		scaled := &rlwe.Ciphertext{B: ch.p.R.NewPoly(ct.Levels()), A: ch.p.R.NewPoly(ct.Levels())}
+		ch.p.MulScalar(scaled, ct, quarter)
+		// Add (1/2 - y) at scale 2F.
+		bias := ch.p.NewPlaintext()
+		for s := lo; s < hi; s++ {
+			v := int64(math.Round((0.5 - y[s]) * math.Pow(2, float64(2*tr.Codec.F))))
+			bias.Coeffs[s-lo] = ch.p.T.FromCentered(v)
+		}
+		ch.p.AddPlain(scaled, bias)
+		out[c] = scaled
+	}
+	return out
+}
+
+// maskPackedResult adds the per-row masks into the packed gradient
+// ciphertexts at the packing stride, before they reach the arbiter.
+func maskPackedResult(p bfv.Params, res *core.Result, masks []int64) {
+	idx := 0
+	for ti, ct := range res.Packed {
+		rows := res.M - ti*res.N
+		if rows > res.N {
+			rows = res.N
+		}
+		stride := res.N / res.TileRows(ti)
+		pt := p.NewPlaintext()
+		for i := 0; i < rows && idx < len(masks); i++ {
+			pt.Coeffs[i*stride] = p.T.FromCentered(masks[idx])
+			idx++
+		}
+		p.AddPlain(ct, pt)
+	}
+}
+
+// quantizeTranspose returns X^T quantized into both residue channels.
+func quantizeTranspose(c *Codec, x [][]float64) [2][][]uint64 {
+	samples := len(x)
+	features := len(x[0])
+	var out [2][][]uint64
+	for ch := 0; ch < 2; ch++ {
+		out[ch] = make([][]uint64, features)
+		for f := 0; f < features; f++ {
+			out[ch][f] = make([]uint64, samples)
+		}
+	}
+	for s := 0; s < samples; s++ {
+		for f := 0; f < features; f++ {
+			r0, r1 := c.Encode(x[s][f])
+			out[0][f][s] = r0
+			out[1][f][s] = r1
+		}
+	}
+	return out
+}
+
+func matVecFloat(x [][]float64, w []float64) []float64 {
+	out := make([]float64, len(x))
+	for s := range x {
+		for i, v := range x[s] {
+			out[s] += v * w[i]
+		}
+	}
+	return out
+}
+
+func logisticLoss(d *Dataset, m *Model) float64 {
+	loss := 0.0
+	for s := 0; s < d.Samples(); s++ {
+		p := m.PredictProb(d.XA[s], d.XB[s])
+		p = math.Min(math.Max(p, 1e-9), 1-1e-9)
+		loss += -d.Y[s]*math.Log(p) - (1-d.Y[s])*math.Log(1-p)
+	}
+	return loss / float64(d.Samples())
+}
+
+// TrainPlaintextQuantized runs the identical protocol arithmetic on clear
+// integers (same quantization, same Taylor approximation) — the exactness
+// reference for the HE path.
+func TrainPlaintextQuantized(codec *Codec, d *Dataset, epochs int, lr float64) *Model {
+	return TrainPlaintextQuantizedBatched(codec, d, epochs, lr, 0)
+}
+
+// TrainPlaintextQuantizedBatched is the mini-batch reference (batch <= 0
+// means full batch).
+func TrainPlaintextQuantizedBatched(codec *Codec, d *Dataset, epochs int, lr float64, batch int) *Model {
+	m := &Model{
+		WA: make([]float64, d.FeaturesA()),
+		WB: make([]float64, d.FeaturesB()),
+	}
+	if batch <= 0 || batch > d.Samples() {
+		batch = d.Samples()
+	}
+	const l2 = 1e-4
+	f := codec.F
+	for epoch := 0; epoch < epochs; epoch++ {
+		for base := 0; base < d.Samples(); base += batch {
+			end := base + batch
+			if end > d.Samples() {
+				end = d.Samples()
+			}
+			xa, xb, y := d.XA[base:end], d.XB[base:end], d.Y[base:end]
+			uA := matVecFloat(xa, m.WA)
+			uB := matVecFloat(xb, m.WB)
+			n := end - base
+			dInt := make([]int64, n)
+			for s := 0; s < n; s++ {
+				uq := codec.Quantize(uA[s]) + codec.Quantize(uB[s])
+				dInt[s] = (int64(1)<<(f-2))*uq +
+					int64(math.Round((0.5-y[s])*math.Pow(2, float64(2*f))))
+			}
+			grad := func(x [][]float64, w []float64) {
+				for i := range w {
+					var acc int64
+					for s := 0; s < n; s++ {
+						acc += codec.Quantize(x[s][i]) * dInt[s]
+					}
+					g := float64(acc) / math.Pow(2, float64(3*f)) / float64(n)
+					w[i] -= lr * (g + l2*w[i])
+				}
+			}
+			grad(xa, m.WA)
+			grad(xb, m.WB)
+		}
+		m.LossHistory = append(m.LossHistory, logisticLoss(d, m))
+	}
+	return m
+}

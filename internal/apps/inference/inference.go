@@ -1,0 +1,228 @@
+// Package inference implements Delphi-style private neural-network
+// inference (the application context of §V-B.4): linear layers run on
+// Beaver triples generated with CHAM's HMVP during preprocessing, the
+// online phase is pure cleartext share arithmetic, and the non-linear
+// layers — handled by garbled circuits in Delphi, explicitly outside
+// CHAM's scope — are modelled by an oracle that reconstructs, applies
+// ReLU with fixed-point truncation, and re-shares under a fresh mask
+// (DESIGN.md documents this substitution).
+//
+// Values are signed fixed-point residues mod t with F fraction bits;
+// a linear layer doubles the scale and the activation oracle truncates
+// back, exactly like a quantized integer network. Tests verify the
+// protocol output matches the quantized cleartext network bit for bit.
+package inference
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cham/internal/apps/beaver"
+	"cham/internal/bfv"
+	"cham/internal/rlwe"
+)
+
+// Network is a quantized MLP: alternating linear layers and ReLUs.
+type Network struct {
+	P bfv.Params
+	F uint // fraction bits
+	// Weights[i] is the m×n matrix of layer i (float; quantized lazily).
+	Weights [][][]float64
+	// Biases[i] has length m (applied at scale 2F, before truncation).
+	Biases [][]float64
+}
+
+// NewNetwork validates layer shapes.
+func NewNetwork(p bfv.Params, f uint, weights [][][]float64, biases [][]float64) (*Network, error) {
+	if len(weights) == 0 || len(weights) != len(biases) {
+		return nil, fmt.Errorf("inference: %d weight layers, %d bias layers", len(weights), len(biases))
+	}
+	for l := range weights {
+		if len(weights[l]) == 0 || len(weights[l][0]) == 0 {
+			return nil, fmt.Errorf("inference: empty layer %d", l)
+		}
+		if len(biases[l]) != len(weights[l]) {
+			return nil, fmt.Errorf("inference: layer %d bias length %d, want %d",
+				l, len(biases[l]), len(weights[l]))
+		}
+		if l > 0 && len(weights[l][0]) != len(weights[l-1]) {
+			return nil, fmt.Errorf("inference: layer %d input %d != layer %d output %d",
+				l, len(weights[l][0]), l-1, len(weights[l-1]))
+		}
+	}
+	return &Network{P: p, F: f, Weights: weights, Biases: biases}, nil
+}
+
+// quantize maps a float to its mod-t fixed-point residue.
+func (nw *Network) quantize(x float64) uint64 {
+	return nw.P.T.FromCentered(int64(math.Round(x * float64(int64(1)<<nw.F))))
+}
+
+// quantizeMatrix converts one layer's weights.
+func (nw *Network) quantizeMatrix(l int) [][]uint64 {
+	w := nw.Weights[l]
+	out := make([][]uint64, len(w))
+	for i := range w {
+		out[i] = make([]uint64, len(w[i]))
+		for j := range w[i] {
+			out[i][j] = nw.quantize(w[i][j])
+		}
+	}
+	return out
+}
+
+// Preprocessed holds the per-layer Beaver triples from the offline phase.
+type Preprocessed struct {
+	Client []*beaver.ClientShare
+	Server []*beaver.ServerShare
+	// quantized weight matrices, cached for the online phase
+	weights [][][]uint64
+}
+
+// Preprocess runs the offline phase: one CHAM HMVP per linear layer.
+func (nw *Network) Preprocess(gen *beaver.Generator, rng *rand.Rand, sk *rlwe.SecretKey) (*Preprocessed, error) {
+	pre := &Preprocessed{}
+	for l := range nw.Weights {
+		w := nw.quantizeMatrix(l)
+		cs, ss, err := gen.Generate(rng, sk, w)
+		if err != nil {
+			return nil, fmt.Errorf("inference: layer %d: %w", l, err)
+		}
+		pre.Client = append(pre.Client, cs)
+		pre.Server = append(pre.Server, ss)
+		pre.weights = append(pre.weights, w)
+	}
+	return pre, nil
+}
+
+// Infer runs the online phase on one input vector (floats). No
+// homomorphic operations occur here — only share arithmetic and the
+// activation oracle.
+func (nw *Network) Infer(pre *Preprocessed, x []float64) ([]float64, error) {
+	if len(pre.weights) != len(nw.Weights) {
+		return nil, fmt.Errorf("inference: preprocessing does not match network")
+	}
+	if len(x) != len(nw.Weights[0][0]) {
+		return nil, fmt.Errorf("inference: input length %d, want %d", len(x), len(nw.Weights[0][0]))
+	}
+	t := nw.P.T
+	// The client starts holding the full input at scale F.
+	cur := make([]uint64, len(x))
+	for i := range x {
+		cur[i] = nw.quantize(x[i])
+	}
+	last := len(nw.Weights) - 1
+	for l := range nw.Weights {
+		// Linear layer via the Beaver triple: client reveals x - r; the
+		// server's share is W(x-r) + s + b·2^(2F); the client's is c.
+		clientShare, serverShare, err := beaver.OnlineLinear(nw.P, pre.weights[l], cur, pre.Client[l], pre.Server[l])
+		if err != nil {
+			return nil, fmt.Errorf("inference: layer %d: %w", l, err)
+		}
+		for i, b := range nw.Biases[l] {
+			bq := t.FromCentered(int64(math.Round(b * math.Pow(2, float64(2*nw.F)))))
+			serverShare[i] = t.Add(serverShare[i], bq)
+		}
+		if l == last {
+			// Output layer: reconstruct logits at scale 2F.
+			out := make([]float64, len(clientShare))
+			for i := range out {
+				v := t.CenterLift(t.Add(clientShare[i], serverShare[i]))
+				out[i] = float64(v) / math.Pow(2, float64(2*nw.F))
+			}
+			return out, nil
+		}
+		// Hidden layer: the GC oracle reconstructs, truncates back to
+		// scale F, applies ReLU, and hands the client the next cleartext
+		// activation (in Delphi the client instead receives x-r' from the
+		// garbled circuit; the arithmetic is identical).
+		cur = nw.activationOracle(clientShare, serverShare)
+	}
+	panic("unreachable")
+}
+
+// activationOracle models the garbled-circuit ReLU: reconstruct the
+// shares, truncate 2F -> F with round-to-nearest, clamp negatives to
+// zero.
+func (nw *Network) activationOracle(cShare, sShare []uint64) []uint64 {
+	t := nw.P.T
+	out := make([]uint64, len(cShare))
+	half := int64(1) << (nw.F - 1)
+	for i := range cShare {
+		v := t.CenterLift(t.Add(cShare[i], sShare[i])) // scale 2F
+		if v < 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = t.FromCentered((v + half) >> nw.F) // scale F
+	}
+	return out
+}
+
+// InferPlain evaluates the same quantized network in the clear — the
+// exactness reference for the protocol.
+func (nw *Network) InferPlain(x []float64) []float64 {
+	t := nw.P.T
+	cur := make([]uint64, len(x))
+	for i := range x {
+		cur[i] = nw.quantize(x[i])
+	}
+	last := len(nw.Weights) - 1
+	for l := range nw.Weights {
+		w := nw.quantizeMatrix(l)
+		next := make([]uint64, len(w))
+		for i := range w {
+			var acc uint64
+			for j := range w[i] {
+				acc = t.Add(acc, t.Mul(w[i][j], cur[j]))
+			}
+			bq := t.FromCentered(int64(math.Round(nw.Biases[l][i] * math.Pow(2, float64(2*nw.F)))))
+			next[i] = t.Add(acc, bq)
+		}
+		if l == last {
+			out := make([]float64, len(next))
+			for i := range out {
+				out[i] = float64(t.CenterLift(next[i])) / math.Pow(2, float64(2*nw.F))
+			}
+			return out
+		}
+		half := int64(1) << (nw.F - 1)
+		for i, v := range next {
+			c := t.CenterLift(v)
+			if c < 0 {
+				next[i] = 0
+			} else {
+				next[i] = t.FromCentered((c + half) >> nw.F)
+			}
+		}
+		cur = next
+	}
+	panic("unreachable")
+}
+
+// InferFloat evaluates the unquantized network — for accuracy comparisons.
+func (nw *Network) InferFloat(x []float64) []float64 {
+	cur := append([]float64(nil), x...)
+	last := len(nw.Weights) - 1
+	for l, w := range nw.Weights {
+		next := make([]float64, len(w))
+		for i := range w {
+			acc := nw.Biases[l][i]
+			for j := range w[i] {
+				acc += w[i][j] * cur[j]
+			}
+			next[i] = acc
+		}
+		if l == last {
+			return next
+		}
+		for i := range next {
+			if next[i] < 0 {
+				next[i] = 0
+			}
+		}
+		cur = next
+	}
+	panic("unreachable")
+}

@@ -1,0 +1,174 @@
+package inference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cham/internal/apps/beaver"
+	"cham/internal/bfv"
+	"cham/internal/rlwe"
+)
+
+// testNetwork builds a small random MLP with weights in [-1, 1] so the
+// single-modulus fixed-point headroom (t = 65537, F = 4) holds.
+// A production deployment would ride the CRT plaintext pair as heterolr
+// does.
+func testNetwork(tb testing.TB, rng *rand.Rand, dims []int) (*Network, bfv.Params, *rlwe.SecretKey, *beaver.Generator) {
+	tb.Helper()
+	p, err := bfv.NewChamParams(64)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sk := p.KeyGen(rng)
+	gen, err := beaver.NewGenerator(p, rng, sk, 64)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var weights [][][]float64
+	var biases [][]float64
+	for l := 1; l < len(dims); l++ {
+		w := make([][]float64, dims[l])
+		for i := range w {
+			w[i] = make([]float64, dims[l-1])
+			for j := range w[i] {
+				w[i][j] = rng.Float64()*2 - 1
+			}
+		}
+		b := make([]float64, dims[l])
+		for i := range b {
+			b[i] = rng.Float64()*0.5 - 0.25
+		}
+		weights = append(weights, w)
+		biases = append(biases, b)
+	}
+	nw, err := NewNetwork(p, 4, weights, biases)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return nw, p, sk, gen
+}
+
+func randInput(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+// TestProtocolMatchesPlainQuantized: the share-based online phase must be
+// bit-identical to the cleartext quantized network.
+func TestProtocolMatchesPlainQuantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nw, _, sk, gen := testNetwork(t, rng, []int{8, 12, 6, 3})
+	pre, err := nw.Preprocess(gen, rng, sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := randInput(rng, 8)
+		got, err := nw.Infer(pre, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nw.InferPlain(x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d output %d: protocol %v vs plain %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQuantizedTracksFloat: the quantized network approximates the float
+// network within the F=4 quantization error envelope.
+func TestQuantizedTracksFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw, _, sk, gen := testNetwork(t, rng, []int{6, 10, 2})
+	pre, err := nw.Preprocess(gen, rng, sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for trial := 0; trial < 20; trial++ {
+		x := randInput(rng, 6)
+		got, err := nw.Infer(pre, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := nw.InferFloat(x)
+		for i := range ref {
+			if e := math.Abs(got[i] - ref[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	// F=4 gives 1/16 weight/activation resolution; errors accumulate over
+	// two layers but must stay well below 1.
+	if maxErr > 0.8 {
+		t.Errorf("quantization error %.3f too large", maxErr)
+	}
+	if maxErr == 0 {
+		t.Error("implausibly exact — quantization not exercised?")
+	}
+}
+
+// TestClassificationAgreement: argmax decisions of the private protocol
+// agree with the float network on most inputs.
+func TestClassificationAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw, _, sk, gen := testNetwork(t, rng, []int{8, 16, 4})
+	pre, err := nw.Preprocess(gen, rng, sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 40
+	for trial := 0; trial < total; trial++ {
+		x := randInput(rng, 8)
+		got, err := nw.Infer(pre, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if argmax(got) == argmax(nw.InferFloat(x)) {
+			agree++
+		}
+	}
+	if agree < total*3/4 {
+		t.Errorf("only %d/%d argmax agreements", agree, total)
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestNetworkValidation(t *testing.T) {
+	p, _ := bfv.NewChamParams(16)
+	w1 := [][][]float64{{{1, 2}}}
+	if _, err := NewNetwork(p, 4, w1, nil); err == nil {
+		t.Error("bias mismatch accepted")
+	}
+	if _, err := NewNetwork(p, 4, nil, nil); err == nil {
+		t.Error("empty network accepted")
+	}
+	// Shape mismatch between layers.
+	w2 := [][][]float64{{{1, 2}}, {{1, 2, 3}}}
+	b2 := [][]float64{{0}, {0}}
+	if _, err := NewNetwork(p, 4, w2, b2); err == nil {
+		t.Error("layer shape mismatch accepted")
+	}
+	// Input length validation at inference time.
+	rng := rand.New(rand.NewSource(4))
+	nw, _, sk, gen := testNetwork(t, rng, []int{4, 2})
+	pre, _ := nw.Preprocess(gen, rng, sk)
+	if _, err := nw.Infer(pre, make([]float64, 3)); err == nil {
+		t.Error("wrong input length accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package bfv
+
+import "fmt"
+
+// Coefficient encoding (CHAM §II-C, Eq. 1) and SIMD slot encoding (§II-E).
+
+// EncodeVector encodes the cleartext vector v as pt^(v) = Σ v_j X^j.
+// Values are reduced modulo t. len(v) must not exceed N.
+func (p Params) EncodeVector(v []uint64) *Plaintext {
+	if len(v) > p.R.N {
+		panic("bfv: vector longer than N")
+	}
+	pt := p.NewPlaintext()
+	for j, x := range v {
+		pt.Coeffs[j] = p.T.Reduce(x)
+	}
+	return pt
+}
+
+// EncodeRow encodes matrix row a as the dot-product multiplier of Eq. 1:
+//
+//	pt^(A_i) = A_{i,0} - Σ_{j=1}^{N-1} A_{i,j} X^{N-j},
+//
+// so that the constant coefficient of pt^(A_i)·pt^(v) is the inner product
+// A_i·v (Eq. 2). An optional scale factor (e.g. the inverse 2^ℓ packing
+// compensation) is folded into every coefficient.
+func (p Params) EncodeRow(a []uint64, scale uint64) *Plaintext {
+	if len(a) > p.R.N {
+		panic("bfv: row longer than N")
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	pt := p.NewPlaintext()
+	pt.Coeffs[0] = p.T.Mul(p.T.Reduce(a[0]), scale)
+	for j := 1; j < len(a); j++ {
+		pt.Coeffs[p.R.N-j] = p.T.Mul(p.T.Neg(p.T.Reduce(a[j])), scale)
+	}
+	return pt
+}
+
+// DecodeCoeff returns coefficient i of the plaintext — for dot-product
+// results, DecodeCoeff(pt, 0) is the inner product.
+func (p Params) DecodeCoeff(pt *Plaintext, i int) uint64 { return pt.Coeffs[i] }
+
+// InvPow2 returns 2^{-ℓ} mod t, the compensation factor for PackLWEs'
+// doubling. Panics if t is even.
+func (p Params) InvPow2(l int) uint64 {
+	if p.T.Q&1 == 0 {
+		panic("bfv: 2 is not invertible modulo an even t")
+	}
+	return p.T.Inv(p.T.Pow(2, uint64(l)))
+}
+
+// EncodeSlots places vals into SIMD slots: slot j holds the evaluation of
+// the plaintext polynomial at ψ_t^(2·brv(j)+1). Requires CanBatch().
+func (p Params) EncodeSlots(vals []uint64) (*Plaintext, error) {
+	if p.slotTable == nil {
+		return nil, fmt.Errorf("bfv: t=%d does not support batching at N=%d", p.T.Q, p.R.N)
+	}
+	if len(vals) > p.R.N {
+		return nil, fmt.Errorf("bfv: %d values exceed %d slots", len(vals), p.R.N)
+	}
+	pt := p.NewPlaintext()
+	for i, v := range vals {
+		pt.Coeffs[i] = p.T.Reduce(v)
+	}
+	p.slotTable.Inverse(pt.Coeffs)
+	return pt, nil
+}
+
+// DecodeSlots extracts all N slot values of the plaintext.
+func (p Params) DecodeSlots(pt *Plaintext) ([]uint64, error) {
+	if p.slotTable == nil {
+		return nil, fmt.Errorf("bfv: t=%d does not support batching at N=%d", p.T.Q, p.R.N)
+	}
+	out := make([]uint64, p.R.N)
+	copy(out, pt.Coeffs)
+	p.slotTable.Forward(out)
+	return out, nil
+}
+
+// SlotAutomorphismPermutation returns the slot permutation induced by the
+// ring automorphism X -> X^k: perm[j] is the slot index whose value moves
+// INTO slot j. Derivation: slot j evaluates at e_j = ψ^(2·brv(j)+1), and
+// φ_k(pt)(e_j) = pt(e_j^k), so slot j of φ_k(pt) holds the old slot j'
+// with 2·brv(j')+1 ≡ (2·brv(j)+1)·k (mod 2N).
+func (p Params) SlotAutomorphismPermutation(k int) ([]int, error) {
+	if p.slotTable == nil {
+		return nil, fmt.Errorf("bfv: batching unavailable")
+	}
+	if k%2 == 0 {
+		return nil, fmt.Errorf("bfv: automorphism index must be odd")
+	}
+	n := p.R.N
+	n2 := 2 * n
+	kk := ((k % n2) + n2) % n2
+	// invExp[e] = slot index whose evaluation exponent is e.
+	invExp := make(map[int]int, n)
+	for j := 0; j < n; j++ {
+		invExp[(2*brvInt(j, p.slotTable.LogN)+1)%n2] = j
+	}
+	perm := make([]int, n)
+	for j := 0; j < n; j++ {
+		e := (2*brvInt(j, p.slotTable.LogN) + 1) * kk % n2
+		src, ok := invExp[e]
+		if !ok {
+			return nil, fmt.Errorf("bfv: exponent %d has no slot (k=%d not coprime to 2N?)", e, k)
+		}
+		perm[j] = src
+	}
+	return perm, nil
+}
+
+func brvInt(x, width int) int {
+	r := 0
+	for i := 0; i < width; i++ {
+		r = r<<1 | x&1
+		x >>= 1
+	}
+	return r
+}

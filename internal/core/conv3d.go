@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"cham/internal/bfv"
+	"cham/internal/rlwe"
+)
+
+// 3-D convolution (multi-channel 2-D convolution, the "3-D" extension of
+// §II-E): the input tensor C×H×W is laid out channel-major in polynomial
+// coefficients and the kernel C×KH×KW is mirrored across all three axes,
+// so one negacyclic multiplication sums over channels and both spatial
+// offsets simultaneously — one ciphertext multiply per output channel.
+
+// Conv3DShape describes a valid multi-channel convolution producing one
+// output channel.
+type Conv3DShape struct {
+	C      int // input channels
+	H, W   int // spatial dimensions
+	KH, KW int // kernel spatial dimensions
+}
+
+// OutH and OutW are the valid-output spatial dimensions.
+func (s Conv3DShape) OutH() int { return s.H - s.KH + 1 }
+func (s Conv3DShape) OutW() int { return s.W - s.KW + 1 }
+
+// Validate checks the tensor fits the ring degree.
+func (s Conv3DShape) Validate(n int) error {
+	if s.C < 1 || s.H < 1 || s.W < 1 || s.KH < 1 || s.KW < 1 {
+		return fmt.Errorf("core: non-positive conv3d dimensions")
+	}
+	if s.KH > s.H || s.KW > s.W {
+		return fmt.Errorf("core: kernel %dx%d larger than image %dx%d", s.KH, s.KW, s.H, s.W)
+	}
+	if s.C*s.H*s.W > n {
+		return fmt.Errorf("core: tensor %dx%dx%d does not fit N=%d", s.C, s.H, s.W, n)
+	}
+	return nil
+}
+
+// EncodeTensor lays the input out channel-major: coefficient
+// c·H·W + i·W + j holds X[c][i][j].
+func EncodeTensor(p bfv.Params, s Conv3DShape, x [][][]uint64) (*bfv.Plaintext, error) {
+	if err := s.Validate(p.R.N); err != nil {
+		return nil, err
+	}
+	if len(x) != s.C {
+		return nil, fmt.Errorf("core: tensor has %d channels, want %d", len(x), s.C)
+	}
+	pt := p.NewPlaintext()
+	for c := 0; c < s.C; c++ {
+		if len(x[c]) != s.H {
+			return nil, fmt.Errorf("core: channel %d has %d rows, want %d", c, len(x[c]), s.H)
+		}
+		for i := 0; i < s.H; i++ {
+			if len(x[c][i]) != s.W {
+				return nil, fmt.Errorf("core: channel %d row %d has %d pixels, want %d", c, i, len(x[c][i]), s.W)
+			}
+			for j := 0; j < s.W; j++ {
+				pt.Coeffs[c*s.H*s.W+i*s.W+j] = p.T.Reduce(x[c][i][j])
+			}
+		}
+	}
+	return pt, nil
+}
+
+// EncodeKernel3D mirrors the kernel across channels and space: K[c][a][b]
+// lands at (C-1-c)·H·W + (KH-1-a)·W + (KW-1-b).
+func EncodeKernel3D(p bfv.Params, s Conv3DShape, k [][][]uint64) (*bfv.Plaintext, error) {
+	if err := s.Validate(p.R.N); err != nil {
+		return nil, err
+	}
+	if len(k) != s.C {
+		return nil, fmt.Errorf("core: kernel has %d channels, want %d", len(k), s.C)
+	}
+	pt := p.NewPlaintext()
+	for c := 0; c < s.C; c++ {
+		if len(k[c]) != s.KH {
+			return nil, fmt.Errorf("core: kernel channel %d has %d rows, want %d", c, len(k[c]), s.KH)
+		}
+		for a := 0; a < s.KH; a++ {
+			if len(k[c][a]) != s.KW {
+				return nil, fmt.Errorf("core: kernel channel %d row %d has %d cols, want %d", c, a, len(k[c][a]), s.KW)
+			}
+			for b := 0; b < s.KW; b++ {
+				pos := (s.C-1-c)*s.H*s.W + (s.KH-1-a)*s.W + (s.KW - 1 - b)
+				pt.Coeffs[pos] = p.T.Reduce(k[c][a][b])
+			}
+		}
+	}
+	return pt, nil
+}
+
+// Conv3D computes one output channel of a multi-channel convolution on an
+// encrypted tensor (augmented basis) with a cleartext kernel.
+func Conv3D(p bfv.Params, s Conv3DShape, ctX *rlwe.Ciphertext, kernel [][][]uint64) (*rlwe.Ciphertext, error) {
+	kpt, err := EncodeKernel3D(p, s, kernel)
+	if err != nil {
+		return nil, err
+	}
+	return p.MulPlainRescale(ctX, kpt), nil
+}
+
+// DecodeConv3DOutput reads the OutH×OutW outputs: they sit in the last
+// channel block at spatial offsets (i+KH-1, j+KW-1).
+func DecodeConv3DOutput(p bfv.Params, s Conv3DShape, pt *bfv.Plaintext) [][]uint64 {
+	base := (s.C - 1) * s.H * s.W
+	out := make([][]uint64, s.OutH())
+	for i := range out {
+		out[i] = make([]uint64, s.OutW())
+		for j := range out[i] {
+			out[i][j] = pt.Coeffs[base+(i+s.KH-1)*s.W+(j+s.KW-1)]
+		}
+	}
+	return out
+}
+
+// PlainConv3D is the cleartext reference.
+func PlainConv3D(p bfv.Params, s Conv3DShape, x, k [][][]uint64) [][]uint64 {
+	out := make([][]uint64, s.OutH())
+	for i := range out {
+		out[i] = make([]uint64, s.OutW())
+		for j := range out[i] {
+			var acc uint64
+			for c := 0; c < s.C; c++ {
+				for a := 0; a < s.KH; a++ {
+					for b := 0; b < s.KW; b++ {
+						acc = p.T.Add(acc, p.T.Mul(p.T.Reduce(x[c][i+a][j+b]), p.T.Reduce(k[c][a][b])))
+					}
+				}
+			}
+			out[i][j] = acc
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomTensor(rng *rand.Rand, c, h, w int, bound uint64) [][][]uint64 {
+	x := make([][][]uint64, c)
+	for i := range x {
+		x[i] = randomImage(rng, h, w, bound)
+	}
+	return x
+}
+
+func TestConv3DMatchesPlain(t *testing.T) {
+	p := testParams(t, 256)
+	rng := rand.New(rand.NewSource(40))
+	sk := p.KeyGen(rng)
+
+	shapes := []Conv3DShape{
+		{C: 1, H: 8, W: 8, KH: 3, KW: 3},  // degenerates to conv2d
+		{C: 3, H: 8, W: 8, KH: 3, KW: 3},  // RGB-style
+		{C: 4, H: 8, W: 8, KH: 1, KW: 1},  // pointwise (1x1) conv
+		{C: 2, H: 4, W: 16, KH: 2, KW: 5}, // rectangular
+		{C: 4, H: 8, W: 8, KH: 8, KW: 8},  // full-image kernel
+	}
+	for _, s := range shapes {
+		x := randomTensor(rng, s.C, s.H, s.W, 64)
+		k := randomTensor(rng, s.C, s.KH, s.KW, 64)
+		pt, err := EncodeTensor(p, s, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctX := p.Encrypt(rng, sk, pt, p.R.Levels())
+		ctOut, err := Conv3D(p, s, ctX, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := DecodeConv3DOutput(p, s, p.Decrypt(ctOut, sk))
+		want := PlainConv3D(p, s, x, k)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%+v: output (%d,%d) = %d, want %d", s, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestConv3DAgreesWithConv2D: a single-channel Conv3D must equal Conv2D.
+func TestConv3DAgreesWithConv2D(t *testing.T) {
+	p := testParams(t, 128)
+	rng := rand.New(rand.NewSource(41))
+	sk := p.KeyGen(rng)
+
+	s2 := Conv2DShape{H: 8, W: 8, KH: 3, KW: 3}
+	s3 := Conv3DShape{C: 1, H: 8, W: 8, KH: 3, KW: 3}
+	img := randomImage(rng, 8, 8, 100)
+	ker := randomImage(rng, 3, 3, 100)
+
+	ipt, _ := EncodeImage(p, s2, img)
+	ct2, _ := Conv2D(p, s2, p.Encrypt(rng, sk, ipt, p.R.Levels()), ker)
+	out2 := DecodeConvOutput(p, s2, p.Decrypt(ct2, sk))
+
+	tpt, _ := EncodeTensor(p, s3, [][][]uint64{img})
+	ct3, _ := Conv3D(p, s3, p.Encrypt(rng, sk, tpt, p.R.Levels()), [][][]uint64{ker})
+	out3 := DecodeConv3DOutput(p, s3, p.Decrypt(ct3, sk))
+
+	for i := range out2 {
+		for j := range out2[i] {
+			if out2[i][j] != out3[i][j] {
+				t.Fatalf("(%d,%d): conv2d %d vs conv3d %d", i, j, out2[i][j], out3[i][j])
+			}
+		}
+	}
+}
+
+func TestConv3DValidation(t *testing.T) {
+	p := testParams(t, 64)
+	bad := []Conv3DShape{
+		{C: 0, H: 4, W: 4, KH: 1, KW: 1},
+		{C: 1, H: 4, W: 4, KH: 5, KW: 1},
+		{C: 2, H: 8, W: 8, KH: 1, KW: 1}, // 128 > N=64
+	}
+	for _, s := range bad {
+		if err := s.Validate(p.R.N); err == nil {
+			t.Errorf("shape %+v accepted", s)
+		}
+	}
+	s := Conv3DShape{C: 2, H: 4, W: 4, KH: 2, KW: 2}
+	if _, err := EncodeTensor(p, s, make([][][]uint64, 1)); err == nil {
+		t.Error("wrong channel count accepted")
+	}
+	if _, err := EncodeKernel3D(p, s, randomTensor(rand.New(rand.NewSource(1)), 2, 3, 2, 4)); err == nil {
+		t.Error("wrong kernel height accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSlotRotation: the homomorphic rotation must rotate the σ-ordered
+// row left by r, matching the cleartext rotateSlice.
+func TestSlotRotation(t *testing.T) {
+	p := testParams(t, 64)
+	rng := rand.New(rand.NewSource(30))
+	sk := p.KeyGen(rng)
+	slots := p.R.N / 2
+	de, err := NewDiagonalEvaluator(p, rng, sk, allRotations(slots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := randomVector(rng, slots, 512)
+	ct, err := de.EncryptRowVector(rng, sk, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{1, 2, 7, slots - 1} {
+		rot, err := de.rotate(ct, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := de.DecryptRow(rot, sk, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rotateSlice(v, r)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("r=%d slot %d: %d want %d", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDiagonalMatVec: the plain diagonal method against the cleartext
+// reference, for square and rectangular embeddings.
+func TestDiagonalMatVec(t *testing.T) {
+	p := testParams(t, 64)
+	rng := rand.New(rand.NewSource(31))
+	sk := p.KeyGen(rng)
+	slots := p.R.N / 2
+	de, err := NewDiagonalEvaluator(p, rng, sk, allRotations(slots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct{ m, n int }{
+		{slots, slots}, {8, slots}, {slots, 8}, {5, 7},
+	}
+	for _, s := range shapes {
+		// Modest magnitudes: the diagonal method multiplies in the normal
+		// basis, so noise is t·√N·e per product, summed over diagonals.
+		A := randomMatrix(rng, s.m, s.n, 256)
+		v := randomVector(rng, s.n, 256)
+		ctV, err := de.EncryptRowVector(rng, sk, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := de.MatVec(A, ctV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := de.DecryptRow(out, sk, s.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PlainMatVec(p, A, v)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%dx%d row %d: %d want %d", s.m, s.n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDiagonalBSGS: the baby-step/giant-step variant must agree with the
+// plain method while using far fewer key switches.
+func TestDiagonalBSGS(t *testing.T) {
+	p := testParams(t, 64)
+	rng := rand.New(rand.NewSource(32))
+	sk := p.KeyGen(rng)
+	slots := p.R.N / 2
+	const baby = 8 // sqrt(32) rounded up to a divisor-friendly value
+
+	keys := append(allRotations(slots), BSGSRotations(slots, baby)...)
+	de, err := NewDiagonalEvaluator(p, rng, sk, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := randomMatrix(rng, slots, slots, 128)
+	v := randomVector(rng, slots, 128)
+	ctV, _ := de.EncryptRowVector(rng, sk, v)
+
+	de.KeySwitches = 0
+	plainOut, err := de.MatVec(A, ctV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainKS := de.KeySwitches
+
+	de.KeySwitches = 0
+	bsgsOut, err := de.MatVecBSGS(A, ctV, baby)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsgsKS := de.KeySwitches
+
+	g1, _ := de.DecryptRow(plainOut, sk, slots)
+	g2, _ := de.DecryptRow(bsgsOut, sk, slots)
+	want := PlainMatVec(p, A, v)
+	for i := range want {
+		if g1[i] != want[i] {
+			t.Fatalf("plain row %d: %d want %d", i, g1[i], want[i])
+		}
+		if g2[i] != want[i] {
+			t.Fatalf("bsgs row %d: %d want %d", i, g2[i], want[i])
+		}
+	}
+	if bsgsKS >= plainKS {
+		t.Errorf("BSGS used %d key switches, plain used %d", bsgsKS, plainKS)
+	}
+	wantPlain, wantBSGS := DiagonalKeySwitchEstimate(slots, baby)
+	if plainKS != wantPlain {
+		t.Errorf("plain key switches %d, estimate %d", plainKS, wantPlain)
+	}
+	if bsgsKS != wantBSGS {
+		t.Errorf("bsgs key switches %d, estimate %d", bsgsKS, wantBSGS)
+	}
+}
+
+func TestDiagonalValidation(t *testing.T) {
+	p := testParams(t, 32)
+	rng := rand.New(rand.NewSource(33))
+	sk := p.KeyGen(rng)
+	if _, err := NewDiagonalEvaluator(p, rng, sk, []int{0}); err == nil {
+		t.Error("rotation 0 accepted")
+	}
+	if _, err := NewDiagonalEvaluator(p, rng, sk, []int{p.R.N / 2}); err == nil {
+		t.Error("rotation N/2 accepted")
+	}
+	de, err := NewDiagonalEvaluator(p, rng, sk, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := de.EncryptRowVector(rng, sk, []uint64{1, 2, 3})
+	if _, err := de.MatVec(nil, ct); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	big := randomMatrix(rng, p.R.N, 4, 3)
+	if _, err := de.MatVec(big, ct); err == nil {
+		t.Error("matrix taller than the slot row accepted")
+	}
+	// Missing rotation key is reported, not silently skipped.
+	A := randomMatrix(rng, p.R.N/2, p.R.N/2, 3)
+	if _, err := de.MatVec(A, ct); err == nil {
+		t.Error("missing rotation keys not reported")
+	}
+	if _, err := de.MatVecBSGS(A, ct, 0); err == nil {
+		t.Error("baby=0 accepted")
+	}
+	// Oversized row vector.
+	if _, err := de.EncryptRowVector(rng, sk, make([]uint64, p.R.N)); err == nil {
+		t.Error("vector beyond the slot row accepted")
+	}
+}
+
+// TestDiagonalVsCoefficientAgree: GAZELLE-style and Alg. 1 must compute
+// identical products — the apples-to-apples §II-E comparison.
+func TestDiagonalVsCoefficientAgree(t *testing.T) {
+	p := testParams(t, 64)
+	rng := rand.New(rand.NewSource(34))
+	sk := p.KeyGen(rng)
+	slots := p.R.N / 2
+
+	A := randomMatrix(rng, 8, slots, 200)
+	v := randomVector(rng, slots, 200)
+
+	de, _ := NewDiagonalEvaluator(p, rng, sk, allRotations(slots))
+	ctRow, _ := de.EncryptRowVector(rng, sk, v)
+	dOut, err := de.MatVec(A, ctRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, _ := de.DecryptRow(dOut, sk, 8)
+
+	ev, _ := NewEvaluator(p, rng, sk, 8)
+	res, err := ev.MatVec(A, EncryptVector(p, rng, sk, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeff := DecryptResult(p, res, sk)
+	for i := range coeff {
+		if coeff[i] != diag[i] {
+			t.Fatalf("row %d: coefficient %d vs diagonal %d", i, coeff[i], diag[i])
+		}
+	}
+}

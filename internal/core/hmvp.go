@@ -1,0 +1,356 @@
+// Package core implements CHAM's primary contribution: the
+// coefficient-encoded homomorphic matrix-vector product of Alg. 1, with
+// row/column tiling for arbitrary matrix shapes, together with the
+// batch-encoded baseline (§II-E) and the 2-D convolution extension.
+//
+// The dataflow per output tile mirrors the accelerator pipeline:
+//
+//	stage 1-3  DOTPRODUCT: NTT, MULTPOLY, INTT per row (Eq. 2)
+//	stage 4    RESCALE by the special modulus + EXTRACTLWES (Eq. 3)
+//	stage 5-9  PACKTWOLWES tree (Alg. 2/3), m-1 reductions
+//
+// The packing factor 2^ℓ is pre-compensated in the row encoding, so a
+// decrypted result reads out directly.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"cham/internal/bfv"
+	"cham/internal/lwe"
+	"cham/internal/ring"
+	"cham/internal/rlwe"
+)
+
+// Evaluator computes homomorphic matrix-vector products.
+type Evaluator struct {
+	P    bfv.Params
+	Keys *lwe.PackingKeys
+	// Workers bounds the goroutines used for the per-row dot products
+	// (rows are independent until packing). Defaults to GOMAXPROCS;
+	// set 1 for strictly serial evaluation.
+	Workers int
+}
+
+// NewEvaluator returns an evaluator whose packing keys cover tiles of up to
+// maxRows rows (rounded up to a power of two, capped at N).
+func NewEvaluator(p bfv.Params, rng *rand.Rand, sk *rlwe.SecretKey, maxRows int) (*Evaluator, error) {
+	if maxRows < 1 {
+		return nil, fmt.Errorf("core: maxRows must be positive")
+	}
+	m := nextPow2(maxRows)
+	if m > p.R.N {
+		m = p.R.N
+	}
+	keys, err := lwe.GenPackingKeys(p, rng, sk, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{P: p, Keys: keys}, nil
+}
+
+func nextPow2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(x-1))
+}
+
+// EncryptVector encrypts v as ⌈len(v)/N⌉ augmented-basis ciphertexts, the
+// form party A ships to party B (§II-F security model).
+func EncryptVector(p bfv.Params, rng *rand.Rand, sk *rlwe.SecretKey, v []uint64) []*rlwe.Ciphertext {
+	n := p.R.N
+	var cts []*rlwe.Ciphertext
+	for off := 0; off < len(v); off += n {
+		end := off + n
+		if end > len(v) {
+			end = len(v)
+		}
+		cts = append(cts, p.Encrypt(rng, sk, p.EncodeVector(v[off:end]), p.R.Levels()))
+	}
+	if len(cts) == 0 {
+		cts = append(cts, p.Encrypt(rng, sk, p.NewPlaintext(), p.R.Levels()))
+	}
+	return cts
+}
+
+// EncryptVectorPK is EncryptVector with a public key.
+func EncryptVectorPK(p bfv.Params, rng *rand.Rand, pk *rlwe.PublicKey, v []uint64) []*rlwe.Ciphertext {
+	n := p.R.N
+	var cts []*rlwe.Ciphertext
+	for off := 0; off < len(v); off += n {
+		end := off + n
+		if end > len(v) {
+			end = len(v)
+		}
+		cts = append(cts, p.EncryptPK(rng, pk, p.EncodeVector(v[off:end]), p.R.Levels()))
+	}
+	if len(cts) == 0 {
+		cts = append(cts, p.EncryptPK(rng, pk, p.NewPlaintext(), p.R.Levels()))
+	}
+	return cts
+}
+
+// Result is the outcome of an HMVP: one packed RLWE ciphertext per tile of
+// up to N rows.
+type Result struct {
+	Packed []*rlwe.Ciphertext
+	M      int // total number of rows
+	N      int // ring degree (for slot stride computation)
+}
+
+// TileRows returns the (padded) number of rows packed into tile i.
+func (res *Result) TileRows(i int) int {
+	rows := res.M - i*res.N
+	if rows > res.N {
+		rows = res.N
+	}
+	return nextPow2(rows)
+}
+
+// MatVec computes A·v where A is an m×n cleartext matrix (row-major, all
+// values reduced mod t) and ctV the encryption of v produced by
+// EncryptVector. n must equal the plaintext vector length used there.
+func (e *Evaluator) MatVec(A [][]uint64, ctV []*rlwe.Ciphertext) (*Result, error) {
+	p := e.P
+	n := p.R.N
+	m := len(A)
+	if m == 0 {
+		return nil, fmt.Errorf("core: empty matrix")
+	}
+	cols := len(A[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("core: matrix has no columns")
+	}
+	chunks := (cols + n - 1) / n
+	if chunks != len(ctV) {
+		return nil, fmt.Errorf("core: matrix has %d column chunks but vector has %d ciphertexts", chunks, len(ctV))
+	}
+	for i := range A {
+		if len(A[i]) != cols {
+			return nil, fmt.Errorf("core: ragged matrix row %d", i)
+		}
+	}
+
+	// Transform the vector ciphertexts once (the pipeline's one-time
+	// stage-1 work); every row then only transforms its plaintext.
+	ctVNTT := make([]*rlwe.Ciphertext, len(ctV))
+	for c, ct := range ctV {
+		cp := ct.Copy()
+		p.R.NTT(cp.B)
+		p.R.NTT(cp.A)
+		ctVNTT[c] = cp
+	}
+
+	res := &Result{M: m, N: n}
+	for base := 0; base < m; base += n {
+		rows := m - base
+		if rows > n {
+			rows = n
+		}
+		mPad := nextPow2(rows)
+		if mPad > e.Keys.M {
+			return nil, fmt.Errorf("core: tile of %d rows exceeds packing keys (max %d)", mPad, e.Keys.M)
+		}
+		scale := p.InvPow2(bits.TrailingZeros(uint(mPad)))
+
+		lwes := make([]*lwe.Ciphertext, mPad)
+		workers := e.Workers
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > rows {
+			workers = rows
+		}
+		var wg sync.WaitGroup
+		next := make(chan int, rows)
+		for i := 0; i < rows; i++ {
+			next <- base + i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					acc := e.rowDotProduct(A[i], ctVNTT, scale)
+					lwes[i-base] = lwe.Extract(p, acc, 0)
+				}
+			}()
+		}
+		wg.Wait()
+		for i := rows; i < mPad; i++ {
+			lwes[i] = zeroLWE(p)
+		}
+		packed, err := lwe.PackLWEs(p, lwes, e.Keys)
+		if err != nil {
+			return nil, err
+		}
+		res.Packed = append(res.Packed, packed)
+	}
+	return res, nil
+}
+
+// rowDotProduct runs stages 1-4 for one matrix row against the
+// pre-transformed vector chunks: per chunk one plaintext forward
+// transform and a MULTPOLY, with the chunk aggregation done in the NTT
+// domain so the row pays a single inverse transform and RESCALE — the
+// paper's n ≥ m aggregation, at the pipeline model's exact transform
+// counts (FullLevels·chunks + 2·FullLevels per row).
+func (e *Evaluator) rowDotProduct(row []uint64, ctVNTT []*rlwe.Ciphertext, scale uint64) *rlwe.Ciphertext {
+	p := e.P
+	n := p.R.N
+	levels := p.R.Levels()
+	acc := &rlwe.Ciphertext{B: p.R.NewPoly(levels), A: p.R.NewPoly(levels)}
+	acc.B.IsNTT, acc.A.IsNTT = true, true
+	tmp := &rlwe.Ciphertext{B: p.R.NewPoly(levels), A: p.R.NewPoly(levels)}
+	for c := 0; c < len(ctVNTT); c++ {
+		lo := c * n
+		hi := lo + n
+		if hi > len(row) {
+			hi = len(row)
+		}
+		if lo >= hi {
+			break
+		}
+		ptPoly := p.Lift(p.EncodeRow(row[lo:hi], scale), levels)
+		p.R.NTT(ptPoly)
+		p.MulPlainNTT(tmp, ctVNTT[c], ptPoly)
+		p.Add(acc, acc, tmp)
+	}
+	p.R.INTT(acc.B)
+	p.R.INTT(acc.A)
+	return p.Rescale(acc)
+}
+
+// zeroLWE is a trivial (noise-free) LWE encryption of zero used to pad a
+// tile to a power-of-two row count.
+func zeroLWE(p bfv.Params) *lwe.Ciphertext {
+	lv := p.NormalLevels
+	ct := &lwe.Ciphertext{Beta: make([]uint64, lv), Alpha: make([][]uint64, lv)}
+	for l := 0; l < lv; l++ {
+		ct.Alpha[l] = make([]uint64, p.R.N)
+	}
+	return ct
+}
+
+// DecryptResult reads the m result values out of the packed ciphertexts.
+func DecryptResult(p bfv.Params, res *Result, sk *rlwe.SecretKey) []uint64 {
+	out := make([]uint64, 0, res.M)
+	for ti, ct := range res.Packed {
+		rows := res.M - ti*res.N
+		if rows > res.N {
+			rows = res.N
+		}
+		stride := lwe.SlotStride(res.N, res.TileRows(ti))
+		dec := p.Decrypt(ct, sk)
+		for i := 0; i < rows; i++ {
+			out = append(out, dec.Coeffs[i*stride])
+		}
+	}
+	return out
+}
+
+// PlainMatVec is the cleartext reference A·v mod t.
+func PlainMatVec(p bfv.Params, A [][]uint64, v []uint64) []uint64 {
+	out := make([]uint64, len(A))
+	for i, row := range A {
+		var acc uint64
+		for j, a := range row {
+			acc = p.T.Add(acc, p.T.Mul(p.T.Reduce(a), p.T.Reduce(v[j])))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// MatVecMulti computes A·v_k for many vectors sharing one matrix — the
+// batched-inference pattern the paper's introduction motivates (many
+// encrypted inputs amortize the per-matrix work). Each matrix row's
+// encoded plaintext is forward-transformed once and reused across all
+// vectors. vecs[k] must each come from EncryptVector with the same column
+// count.
+func (e *Evaluator) MatVecMulti(A [][]uint64, vecs [][]*rlwe.Ciphertext) ([]*Result, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("core: no vectors")
+	}
+	p := e.P
+	n := p.R.N
+	m := len(A)
+	if m == 0 || len(A[0]) == 0 {
+		return nil, fmt.Errorf("core: empty matrix")
+	}
+	cols := len(A[0])
+	chunks := (cols + n - 1) / n
+	for k, v := range vecs {
+		if len(v) != chunks {
+			return nil, fmt.Errorf("core: vector %d has %d chunks, want %d", k, len(v), chunks)
+		}
+	}
+	if m > n {
+		// Keep the amortized path simple: single-tile matrices only;
+		// larger matrices go through repeated MatVec calls.
+		return nil, fmt.Errorf("core: MatVecMulti supports up to %d rows (got %d)", n, m)
+	}
+	mPad := nextPow2(m)
+	if mPad > e.Keys.M {
+		return nil, fmt.Errorf("core: tile of %d rows exceeds packing keys (max %d)", mPad, e.Keys.M)
+	}
+	scale := p.InvPow2(bits.TrailingZeros(uint(mPad)))
+	levels := p.R.Levels()
+
+	// One-time per matrix: encode + NTT every row chunk.
+	rowNTT := make([][]*ring.Poly, m)
+	for i := range A {
+		if len(A[i]) != cols {
+			return nil, fmt.Errorf("core: ragged matrix row %d", i)
+		}
+		rowNTT[i] = make([]*ring.Poly, chunks)
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*n, (c+1)*n
+			if hi > cols {
+				hi = cols
+			}
+			pt := p.Lift(p.EncodeRow(A[i][lo:hi], scale), levels)
+			p.R.NTT(pt)
+			rowNTT[i][c] = pt
+		}
+	}
+
+	out := make([]*Result, len(vecs))
+	for k, ctV := range vecs {
+		ctVNTT := make([]*rlwe.Ciphertext, chunks)
+		for c, ct := range ctV {
+			cp := ct.Copy()
+			p.R.NTT(cp.B)
+			p.R.NTT(cp.A)
+			ctVNTT[c] = cp
+		}
+		lwes := make([]*lwe.Ciphertext, mPad)
+		tmp := &rlwe.Ciphertext{B: p.R.NewPoly(levels), A: p.R.NewPoly(levels)}
+		for i := 0; i < m; i++ {
+			acc := &rlwe.Ciphertext{B: p.R.NewPoly(levels), A: p.R.NewPoly(levels)}
+			acc.B.IsNTT, acc.A.IsNTT = true, true
+			for c := 0; c < chunks; c++ {
+				p.MulPlainNTT(tmp, ctVNTT[c], rowNTT[i][c])
+				p.Add(acc, acc, tmp)
+			}
+			p.R.INTT(acc.B)
+			p.R.INTT(acc.A)
+			lwes[i] = lwe.Extract(p, p.Rescale(acc), 0)
+		}
+		for i := m; i < mPad; i++ {
+			lwes[i] = zeroLWE(p)
+		}
+		packed, err := lwe.PackLWEs(p, lwes, e.Keys)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = &Result{Packed: []*rlwe.Ciphertext{packed}, M: m, N: n}
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import "testing"
+
+func TestOpCountsAddScale(t *testing.T) {
+	a := OpCounts{NTT: 1, INTT: 2, MultPoly: 3, Rescale: 4, Extract: 5, PackRed: 6, KeySwitch: 7}
+	b := a.Scale(2)
+	if b.NTT != 2 || b.KeySwitch != 14 {
+		t.Fatalf("Scale wrong: %+v", b)
+	}
+	a.Add(b)
+	if a.NTT != 3 || a.PackRed != 18 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestModMuls(t *testing.T) {
+	c := OpCounts{NTT: 1}
+	// One 4096-point NTT = 2048·12 butterflies.
+	if got := c.ModMuls(4096); got != 24576 {
+		t.Fatalf("ModMuls = %d, want 24576", got)
+	}
+	c = OpCounts{MultPoly: 2, Rescale: 1}
+	if got := c.ModMuls(4096); got != 3*4096 {
+		t.Fatalf("ModMuls = %d, want %d", got, 3*4096)
+	}
+}
+
+// TestHMVPOpsChamShape pins the Alg. 1 work for the paper's headline shape
+// (m = n = N = 4096, one chunk).
+func TestHMVPOpsChamShape(t *testing.T) {
+	ops := HMVPOps(4096, 2, 3, 4096, 4096)
+	if ops.PackRed != 4095 {
+		t.Errorf("PackRed = %d, want 4095 (the paper's reduction count)", ops.PackRed)
+	}
+	if ops.Extract != 4096 {
+		t.Errorf("Extract = %d, want 4096", ops.Extract)
+	}
+	// Per row: 3 plaintext-limb NTTs; plus 6 one-time vector transforms.
+	if want := 4096*3 + 6 + 4095*2*3; ops.NTT != want {
+		t.Errorf("NTT = %d, want %d", ops.NTT, want)
+	}
+	if ops.KeySwitch != 4095 {
+		t.Errorf("KeySwitch = %d, want 4095", ops.KeySwitch)
+	}
+}
+
+// TestComplexitySeparation: the paper's O(m) vs O(m·log N) claim — the
+// batch baseline must perform ~log2(N)× more key switches than Alg. 1 at
+// equal m, and the ratio must grow with N.
+func TestComplexitySeparation(t *testing.T) {
+	for _, n := range []int{1024, 4096} {
+		m := n
+		coeff := HMVPOps(n, 2, 3, m, n)
+		batch := BatchHMVPOps(n, 2, 3, m)
+		ratio := float64(batch.KeySwitch) / float64(coeff.KeySwitch)
+		logN := 0
+		for v := n; v > 1; v >>= 1 {
+			logN++
+		}
+		if ratio < float64(logN)*0.9 || ratio > float64(logN)*1.2 {
+			t.Errorf("N=%d: key-switch ratio %.2f, want ≈ log2(N)=%d", n, ratio, logN)
+		}
+	}
+}
+
+func TestHMVPOpsTiling(t *testing.T) {
+	// Two full tiles: reductions double.
+	ops := HMVPOps(1024, 2, 3, 2048, 1024)
+	if ops.PackRed != 2*1023 {
+		t.Errorf("PackRed = %d, want %d", ops.PackRed, 2*1023)
+	}
+	// Column chunking: the dot-product work doubles, the packing work
+	// (15 reductions for 16 rows) is unchanged.
+	one := HMVPOps(1024, 2, 3, 16, 1024)
+	two := HMVPOps(1024, 2, 3, 16, 2048)
+	ksPart := KeySwitchOps(2, 3).Scale(15).MultPoly
+	if two.MultPoly-ksPart != 2*(one.MultPoly-ksPart) {
+		t.Errorf("dot-product MultPoly did not double with column chunks: %d vs %d (ks %d)",
+			two.MultPoly, one.MultPoly, ksPart)
+	}
+	// Non-power-of-two rows pad up.
+	pad := HMVPOps(1024, 2, 3, 5, 1024)
+	if pad.PackRed != 7 {
+		t.Errorf("PackRed = %d, want 7 (pad 5 -> 8)", pad.PackRed)
+	}
+}
+
+func TestHMVPBytes(t *testing.T) {
+	limbBits := []int{35, 35, 39}
+	b := HMVPBytes(4096, 2, 3, 4096, 4096, limbBits, 17)
+	// Matrix: 4096·4096·3 bytes dominates.
+	if b < 4096*4096*3 {
+		t.Errorf("bytes %d below matrix size", b)
+	}
+	if b > 4096*4096*3+10*1024*1024 {
+		t.Errorf("bytes %d implausibly large", b)
+	}
+	// Wider matrices move proportionally more data.
+	if HMVPBytes(4096, 2, 3, 4096, 8192, limbBits, 17) <= b {
+		t.Error("doubling columns did not increase traffic")
+	}
+}

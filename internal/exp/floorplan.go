@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"fmt"
+
+	"cham/internal/fpga"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig5",
+		Title: "Floorplan rebalancing on the VU9P",
+		Paper: "initial floorplan over-used BRAM; replaced some BRAM with URAM/LUTRAM to keep all classes below 75%",
+		Run:   runFig5,
+	})
+}
+
+func runFig5() []*Table {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Floorplan: initial vs rebalanced utilization",
+		Columns: []string{"stage", "LUT", "FF", "BRAM", "URAM", "DSP", "fits"},
+	}
+	row := func(name string, fp *fpga.Floorplan) {
+		u := fp.Total.Util(fpga.VU9P)
+		fits := "no"
+		if fp.Fits() {
+			fits = "yes"
+		}
+		t.AddRow(name,
+			f2(u["LUT"])+"%", f2(u["FF"])+"%", f2(u["BRAM"])+"%",
+			f2(u["URAM"])+"%", f2(u["DSP"])+"%", fits)
+	}
+	fp := fpga.InitialFloorplan(fpga.VU9P, fpga.ChamEngineConfig(), 2)
+	row("initial", fp)
+	if err := fp.Rebalance(); err != nil {
+		t.Notes = append(t.Notes, "CALIBRATION FAILURE: "+err.Error())
+		return []*Table{t}
+	}
+	row("rebalanced", fp)
+	t.Notes = append(t.Notes, fmt.Sprintf("%d conversion moves applied", len(fp.History)-2))
+	return []*Table{t}
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"cham/internal/bfv"
+	"cham/internal/core"
+	"cham/internal/mod"
+	"cham/internal/ntt"
+	"cham/internal/perfmodel"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "software",
+		Title: "Measured CPU timings of this repository vs the calibrated Xeon model",
+		Paper: "(methodology check — no direct paper artifact)",
+		Run:   runSoftware,
+	})
+}
+
+// timeOp measures one operation with a small warm-up, capping total
+// measurement time so the experiment stays interactive.
+func timeOp(budget time.Duration, op func()) (perOp time.Duration, iters int) {
+	op() // warm-up
+	start := time.Now()
+	for time.Since(start) < budget {
+		op()
+		iters++
+	}
+	if iters == 0 {
+		iters = 1
+	}
+	return time.Since(start) / time.Duration(iters), iters
+}
+
+func runSoftware() []*Table {
+	const n = 4096
+	p, err := bfv.NewChamParams(n)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sk := p.KeyGen(rng)
+	cpu := perfmodel.Xeon6130()
+	pm := perfmodel.ChamParams()
+
+	t := &Table{
+		ID:      "software",
+		Title:   "Go implementation vs calibrated CPU model (single op, this host)",
+		Columns: []string{"operation", "measured", "model (16-core Xeon)", "ratio"},
+	}
+
+	// NTT forward+inverse of one limb.
+	tab := ntt.MustTable(n, mod.ChamQ0)
+	poly := make([]uint64, n)
+	for i := range poly {
+		poly[i] = rng.Uint64() % mod.ChamQ0
+	}
+	nttT, _ := timeOp(150*time.Millisecond, func() {
+		tab.Forward(poly)
+		tab.Inverse(poly)
+	})
+	nttModel := float64(core.OpCounts{NTT: 1, INTT: 1}.ModMuls(n)) / cpu.ModMulsPerSec
+	t.AddRow("NTT fwd+inv (1 limb)", nttT.String(), ms(nttModel), f2(nttT.Seconds()/nttModel))
+
+	// Hybrid key switch.
+	swk := p.SwitchingKeyGen(rng, sk, sk.Value)
+	ct := p.EncryptZeroSym(rng, sk, 2)
+	ksT, _ := timeOp(300*time.Millisecond, func() { _ = p.KeySwitch(ct, swk) })
+	ksModel := cpu.KeySwitchSeconds(pm)
+	t.AddRow("key switch", ksT.String(), ms(ksModel), f2(ksT.Seconds()/ksModel))
+
+	// Small HMVP (8 rows, full width).
+	ev, err := core.NewEvaluator(p, rng, sk, 8)
+	if err != nil {
+		panic(err)
+	}
+	a := make([][]uint64, 8)
+	for i := range a {
+		a[i] = make([]uint64, n)
+		for j := range a[i] {
+			a[i][j] = rng.Uint64() % p.T.Q
+		}
+	}
+	v := make([]uint64, n)
+	for j := range v {
+		v[j] = rng.Uint64() % p.T.Q
+	}
+	ctV := core.EncryptVector(p, rng, sk, v)
+	hmvpT, _ := timeOp(500*time.Millisecond, func() {
+		if _, err := ev.MatVec(a, ctV); err != nil {
+			panic(err)
+		}
+	})
+	hmvpModel := cpu.HMVPSeconds(pm, 8, n)
+	t.AddRow("HMVP 8x4096", hmvpT.String(), ms(hmvpModel), f2(hmvpT.Seconds()/hmvpModel))
+
+	t.Notes = append(t.Notes,
+		"the model describes a 16-core Xeon running optimized native code; this table",
+		"records how far this Go prototype on this host sits from that calibration",
+		fmt.Sprintf("model assumes %d threads x %.0f%% efficiency; HMVP rows ran on %d worker(s) here",
+			cpu.Threads, 100*cpu.Efficiency, runtime.GOMAXPROCS(0)))
+	return []*Table{t}
+}

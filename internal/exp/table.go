@@ -1,0 +1,109 @@
+// Package exp is the experiment harness: one registered experiment per
+// table and figure of the paper's evaluation, each regenerating its
+// rows/series from the simulators and calibrated device models, alongside
+// the value the paper reports. cmd/chamsim and the repository benchmarks
+// are thin wrappers over this registry.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render produces an aligned plain-text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // the headline result the paper reports for this artifact
+	Run   func() []*Table
+}
+
+var registry []Experiment
+
+// Register adds an experiment (called from init functions in this package).
+func Register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments in registration order.
+func All() []Experiment { return registry }
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func ms(sec float64) string {
+	switch {
+	case sec >= 1:
+		return fmt.Sprintf("%.2f s", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.2f ms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.1f us", sec*1e6)
+	}
+}
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+func kops(v float64) string {
+	return fmt.Sprintf("%.1fk", v/1e3)
+}

@@ -1,0 +1,80 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFloorplanRebalance reproduces §V-A: the initial BRAM-heavy plan
+// exceeds the 75% ceiling; converting staging to URAM (and, if needed,
+// twiddle ROMs to LUTRAM) brings every class under it.
+func TestFloorplanRebalance(t *testing.T) {
+	fp := InitialFloorplan(VU9P, ChamEngineConfig(), 2)
+	if fp.Fits() {
+		t.Fatal("initial floorplan should exceed the ceiling")
+	}
+	over := fp.Over()
+	if len(over) != 1 || over[0] != "BRAM" {
+		t.Fatalf("initial congestion on %v, want BRAM (the paper's account)", over)
+	}
+	if fp.Total.BRAM <= FullDesign(ChamEngineConfig(), 2).BRAM {
+		t.Error("initial plan should use more BRAM than the final design")
+	}
+	if err := fp.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Fits() {
+		t.Fatal("rebalanced plan still over ceiling")
+	}
+	for k, v := range fp.utilOf() {
+		if v > 75 {
+			t.Errorf("%s at %.2f%% after rebalance", k, v)
+		}
+	}
+	if len(fp.History) < 3 {
+		t.Error("no rebalancing moves recorded")
+	}
+	moves := strings.Join(fp.History, "; ")
+	if !strings.Contains(moves, "URAM") {
+		t.Error("expected staging-to-URAM moves")
+	}
+}
+
+// TestFloorplanImpossible: a device with no URAM headroom and no ROM
+// candidates must fail loudly rather than loop.
+func TestFloorplanImpossible(t *testing.T) {
+	tiny := VU9P
+	tiny.Total.URAM = 600 // barely above the design's 595: no headroom
+	fp := InitialFloorplan(tiny, ChamEngineConfig(), 2)
+	fp.romBRAM = 0 // and no ROM conversion candidates either
+	if err := fp.Rebalance(); err == nil {
+		t.Fatal("impossible rebalance reported success")
+	}
+}
+
+// TestFloorplanROMFallback: when URAM is exhausted, the rebalancer falls
+// back to LUTRAM conversions of the twiddle ROMs.
+func TestFloorplanROMFallback(t *testing.T) {
+	constrained := VU9P
+	constrained.Total.URAM = 764 // room for only ~50 staging moves
+	fp := InitialFloorplan(constrained, ChamEngineConfig(), 2)
+	if err := fp.Rebalance(); err != nil {
+		t.Fatalf("ROM fallback failed: %v", err)
+	}
+	moves := strings.Join(fp.History, "; ")
+	if !strings.Contains(moves, "LUTRAM") {
+		t.Error("expected twiddle-ROM-to-LUTRAM moves under URAM pressure")
+	}
+}
+
+// TestFloorplanNonBRAMCongestion: congestion on a class the moves cannot
+// fix is reported.
+func TestFloorplanNonBRAMCongestion(t *testing.T) {
+	small := VU9P
+	small.Total.DSP = 2000 // 1986 used: 99%
+	fp := InitialFloorplan(small, ChamEngineConfig(), 2)
+	err := fp.Rebalance()
+	if err == nil || !strings.Contains(err.Error(), "DSP") {
+		t.Fatalf("DSP congestion not reported: %v", err)
+	}
+}

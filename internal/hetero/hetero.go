@@ -1,0 +1,184 @@
+// Package hetero models CHAM's heterogeneous CPU+FPGA system (§III-C,
+// Fig. 1b): host threads prepare jobs (encode/encrypt), DMA channels move
+// data over PCIe, compute engines run the macro-pipeline, and results
+// stream back for host-side post-processing. Interleaving these phases
+// across jobs hides transfer latency behind computation — the ablation
+// that package-level benchmarks compare against strictly serial execution.
+package hetero
+
+import (
+	"fmt"
+
+	"cham/internal/core"
+	"cham/internal/perfmodel"
+	"cham/internal/pipeline"
+)
+
+// Job is one accelerator invocation (e.g. one HMVP batch).
+type Job struct {
+	Name       string
+	H2DBytes   int64   // host-to-device payload
+	D2HBytes   int64   // device-to-host results
+	ComputeSec float64 // engine time
+	PrepSec    float64 // host encode+encrypt
+	PostSec    float64 // host decrypt+decode
+}
+
+// System describes the host/device topology.
+type System struct {
+	Threads  int     // host worker threads
+	Engines  int     // FPGA compute engines
+	PCIeGBps float64 // effective per-direction DMA bandwidth
+}
+
+// ChamSystem is the production deployment: one host thread per engine
+// plus one spare, PCIe Gen3 x16 at an effective 12 GB/s per direction.
+func ChamSystem() System {
+	return System{Threads: 3, Engines: 2, PCIeGBps: 12}
+}
+
+// Timeline summarises a simulated schedule.
+type Timeline struct {
+	Makespan     float64
+	EngineBusy   float64 // aggregate engine-seconds of useful work
+	TransferBusy float64 // aggregate DMA-seconds (both directions)
+	HostBusy     float64 // aggregate host-thread-seconds
+	Jobs         []JobTrace
+}
+
+// JobTrace records the phase boundaries of one job.
+type JobTrace struct {
+	Name               string
+	PrepStart, PrepEnd float64
+	H2DEnd             float64
+	ComputeStart       float64
+	ComputeEnd         float64
+	D2HEnd             float64
+	PostEnd            float64
+	Engine, Thread     int
+}
+
+// EngineUtilization is the fraction of the makespan the engines spent
+// computing.
+func (t Timeline) EngineUtilization(engines int) float64 {
+	if t.Makespan == 0 {
+		return 0
+	}
+	return t.EngineBusy / (t.Makespan * float64(engines))
+}
+
+// Simulate schedules the jobs. With overlap=true, phases pipeline across
+// jobs (Fig. 1b); with overlap=false each job runs all phases serially and
+// exclusively — the naive offload baseline.
+func (s System) Simulate(jobs []Job, overlap bool) Timeline {
+	if s.Threads < 1 || s.Engines < 1 || s.PCIeGBps <= 0 {
+		panic("hetero: invalid system")
+	}
+	var tl Timeline
+	threadFree := make([]float64, s.Threads)
+	engineFree := make([]float64, s.Engines)
+	var dmaInFree, dmaOutFree float64
+	var serialClock float64
+
+	for _, j := range jobs {
+		h2d := float64(j.H2DBytes) / (s.PCIeGBps * 1e9)
+		d2h := float64(j.D2HBytes) / (s.PCIeGBps * 1e9)
+		var tr JobTrace
+		tr.Name = j.Name
+
+		if !overlap {
+			tr.Thread, tr.Engine = 0, 0
+			tr.PrepStart = serialClock
+			tr.PrepEnd = tr.PrepStart + j.PrepSec
+			tr.H2DEnd = tr.PrepEnd + h2d
+			tr.ComputeStart = tr.H2DEnd
+			tr.ComputeEnd = tr.ComputeStart + j.ComputeSec
+			tr.D2HEnd = tr.ComputeEnd + d2h
+			tr.PostEnd = tr.D2HEnd + j.PostSec
+			serialClock = tr.PostEnd
+		} else {
+			ti := argmin(threadFree)
+			tr.Thread = ti
+			tr.PrepStart = threadFree[ti]
+			tr.PrepEnd = tr.PrepStart + j.PrepSec
+			threadFree[ti] = tr.PrepEnd
+
+			start := max2(tr.PrepEnd, dmaInFree)
+			tr.H2DEnd = start + h2d
+			dmaInFree = tr.H2DEnd
+
+			ei := argmin(engineFree)
+			tr.Engine = ei
+			tr.ComputeStart = max2(tr.H2DEnd, engineFree[ei])
+			tr.ComputeEnd = tr.ComputeStart + j.ComputeSec
+			engineFree[ei] = tr.ComputeEnd
+
+			start = max2(tr.ComputeEnd, dmaOutFree)
+			tr.D2HEnd = start + d2h
+			dmaOutFree = tr.D2HEnd
+
+			ti = argmin(threadFree)
+			post := max2(tr.D2HEnd, threadFree[ti])
+			tr.PostEnd = post + j.PostSec
+			threadFree[ti] = tr.PostEnd
+		}
+
+		tl.EngineBusy += j.ComputeSec
+		tl.TransferBusy += h2d + d2h
+		tl.HostBusy += j.PrepSec + j.PostSec
+		if tr.PostEnd > tl.Makespan {
+			tl.Makespan = tr.PostEnd
+		}
+		tl.Jobs = append(tl.Jobs, tr)
+	}
+	return tl
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// limbBits mirror the CHAM basis for payload sizing.
+var limbBits = []int{35, 35, 39}
+
+// HMVPJob builds the job descriptor for one m×cols HMVP on the given
+// accelerator configuration, with host costs from the CPU model.
+func HMVPJob(cfg pipeline.Config, cpu perfmodel.CPU, m, cols int) Job {
+	p := perfmodel.Params{N: cfg.N, NormalLevels: cfg.NormalLevels, FullLevels: cfg.FullLevels}
+	// The engine-side makespan of a single tile stream: jobs are issued
+	// per engine, so compute time uses one engine's pipeline.
+	one := cfg
+	one.NumEngines = 1
+	rep := one.SimulateHMVP(m, cols)
+	return Job{
+		Name:       fmt.Sprintf("hmvp-%dx%d", m, cols),
+		H2DBytes:   core.HMVPBytes(cfg.N, cfg.NormalLevels, cfg.FullLevels, m, cols, limbBits, 17),
+		D2HBytes:   int64((m + cfg.N - 1) / cfg.N * 2 * cfg.NormalLevels * cfg.N * 5),
+		ComputeSec: rep.Seconds(cfg.FreqMHz),
+		PrepSec:    cpu.EncryptVectorSeconds(p, cols),
+		PostSec:    cpu.DecryptVectorSeconds(p, m),
+	}
+}
+
+// OffloadFraction is the share of a job's total work that runs on the
+// FPGA — the Fig. 8 ">90% offloaded" metric.
+func OffloadFraction(j Job) float64 {
+	total := j.ComputeSec + j.PrepSec + j.PostSec
+	if total == 0 {
+		return 0
+	}
+	return j.ComputeSec / total
+}

@@ -1,0 +1,84 @@
+package hetero
+
+// Multi-accelerator deployment (§V-B.3: "be deployed in multiple hardware
+// accelerators"): one host drives several CHAM cards, each with its own
+// PCIe link, DMA channels and engines; host worker threads are shared.
+
+// MultiCardSystem describes the scaled deployment.
+type MultiCardSystem struct {
+	Cards   int
+	PerCard System // engines + PCIe per card
+	Threads int    // host worker threads shared across cards
+}
+
+// Simulate schedules jobs across cards with full phase overlap. Each job
+// runs on the card whose engines free up first; transfers use that card's
+// dedicated link.
+func (s MultiCardSystem) Simulate(jobs []Job) Timeline {
+	if s.Cards < 1 || s.Threads < 1 || s.PerCard.Engines < 1 || s.PerCard.PCIeGBps <= 0 {
+		panic("hetero: invalid multi-card system")
+	}
+	var tl Timeline
+	threadFree := make([]float64, s.Threads)
+	type card struct {
+		engineFree []float64
+		dmaIn      float64
+		dmaOut     float64
+	}
+	cards := make([]card, s.Cards)
+	for i := range cards {
+		cards[i].engineFree = make([]float64, s.PerCard.Engines)
+	}
+
+	for _, j := range jobs {
+		h2d := float64(j.H2DBytes) / (s.PerCard.PCIeGBps * 1e9)
+		d2h := float64(j.D2HBytes) / (s.PerCard.PCIeGBps * 1e9)
+		var tr JobTrace
+		tr.Name = j.Name
+
+		ti := argmin(threadFree)
+		tr.Thread = ti
+		tr.PrepStart = threadFree[ti]
+		tr.PrepEnd = tr.PrepStart + j.PrepSec
+		threadFree[ti] = tr.PrepEnd
+
+		// Choose the card whose earliest engine frees up soonest.
+		bestCard, bestTime := 0, 0.0
+		for c := range cards {
+			e := argmin(cards[c].engineFree)
+			avail := max2(cards[c].engineFree[e], max2(tr.PrepEnd, cards[c].dmaIn))
+			if c == 0 || avail < bestTime {
+				bestCard, bestTime = c, avail
+			}
+		}
+		cd := &cards[bestCard]
+
+		start := max2(tr.PrepEnd, cd.dmaIn)
+		tr.H2DEnd = start + h2d
+		cd.dmaIn = tr.H2DEnd
+
+		ei := argmin(cd.engineFree)
+		tr.Engine = bestCard*s.PerCard.Engines + ei
+		tr.ComputeStart = max2(tr.H2DEnd, cd.engineFree[ei])
+		tr.ComputeEnd = tr.ComputeStart + j.ComputeSec
+		cd.engineFree[ei] = tr.ComputeEnd
+
+		start = max2(tr.ComputeEnd, cd.dmaOut)
+		tr.D2HEnd = start + d2h
+		cd.dmaOut = tr.D2HEnd
+
+		ti = argmin(threadFree)
+		post := max2(tr.D2HEnd, threadFree[ti])
+		tr.PostEnd = post + j.PostSec
+		threadFree[ti] = tr.PostEnd
+
+		tl.EngineBusy += j.ComputeSec
+		tl.TransferBusy += h2d + d2h
+		tl.HostBusy += j.PrepSec + j.PostSec
+		if tr.PostEnd > tl.Makespan {
+			tl.Makespan = tr.PostEnd
+		}
+		tl.Jobs = append(tl.Jobs, tr)
+	}
+	return tl
+}

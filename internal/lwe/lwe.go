@@ -1,0 +1,215 @@
+// Package lwe implements the LWE side of CHAM's ciphertext conversions:
+// EXTRACTLWES (Eq. 3), which pulls a single coefficient of an RLWE
+// ciphertext out as an LWE ciphertext, and PACKTWOLWES / PACKLWES
+// (Alg. 2 / Alg. 3, after Chen-Dai-Kim-Song), which repack up to N LWE
+// ciphertexts into one RLWE ciphertext.
+//
+// Packing m = 2^ℓ LWE ciphertexts with values μ_i yields an RLWE ciphertext
+// whose plaintext holds 2^ℓ·μ_i at coefficient i·N/m (natural order);
+// positions between slots carry garbage that callers must ignore. The 2^ℓ
+// factor is cancelled by folding bfv.InvPow2(ℓ) into the matrix encoding
+// (see bfv.EncodeRow's scale argument).
+package lwe
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cham/internal/bfv"
+	"cham/internal/rlwe"
+)
+
+// Ciphertext is an LWE ciphertext in RNS form: Beta[l] is the scalar part
+// modulo limb l and Alpha[l] the mask vector modulo limb l. It decrypts as
+// Beta + <Alpha, s> = Δ·μ + e.
+type Ciphertext struct {
+	Beta  []uint64
+	Alpha [][]uint64
+}
+
+// Levels returns the number of RNS limbs.
+func (ct *Ciphertext) Levels() int { return len(ct.Beta) }
+
+// Extract returns the LWE ciphertext encrypting coefficient idx of the
+// RLWE ciphertext's plaintext (RLWE-TO-LWE). The input must be in
+// coefficient domain. Extraction is free of noise growth.
+func Extract(p bfv.Params, ct *rlwe.Ciphertext, idx int) *Ciphertext {
+	if ct.IsNTT() {
+		panic("lwe: Extract requires coefficient domain")
+	}
+	n := p.R.N
+	if idx < 0 || idx >= n {
+		panic("lwe: coefficient index out of range")
+	}
+	src := ct
+	if idx != 0 {
+		// Shift coefficient idx into the constant slot: multiply by X^-idx.
+		shifted := &rlwe.Ciphertext{B: p.R.NewPoly(ct.Levels()), A: p.R.NewPoly(ct.Levels())}
+		p.MulMonomial(shifted, ct, -idx)
+		src = shifted
+	}
+	lv := src.Levels()
+	out := &Ciphertext{Beta: make([]uint64, lv), Alpha: make([][]uint64, lv)}
+	for l := 0; l < lv; l++ {
+		m := p.R.Moduli[l]
+		out.Beta[l] = src.B.Coeffs[l][0]
+		a := src.A.Coeffs[l]
+		// LWE mask: α_0 = a_0, α_j = -a_{N-j} for j >= 1, so that
+		// <α, s> equals the constant coefficient of the ring product a·s.
+		alpha := make([]uint64, n)
+		alpha[0] = a[0]
+		for j := 1; j < n; j++ {
+			alpha[j] = m.Neg(a[n-j])
+		}
+		out.Alpha[l] = alpha
+	}
+	return out
+}
+
+// AsRLWE embeds the LWE ciphertext back into RLWE shape (Eq. 3's output
+// as used by Alg. 2): B is the constant polynomial β and A carries the
+// mask as its coefficients. The constant coefficient of the result's
+// phase equals the LWE phase; other coefficients are garbage.
+func (ct *Ciphertext) AsRLWE(p bfv.Params) *rlwe.Ciphertext {
+	lv := ct.Levels()
+	out := &rlwe.Ciphertext{B: p.R.NewPoly(lv), A: p.R.NewPoly(lv)}
+	n := p.R.N
+	for l := 0; l < lv; l++ {
+		m := p.R.Moduli[l]
+		out.B.Coeffs[l][0] = ct.Beta[l]
+		a := out.A.Coeffs[l]
+		// Invert the Extract transform: a_0 = α_0, a_{N-j} = -α_j.
+		a[0] = ct.Alpha[l][0]
+		for j := 1; j < n; j++ {
+			a[n-j] = m.Neg(ct.Alpha[l][j])
+		}
+	}
+	return out
+}
+
+// Decrypt recovers the value μ = ⌊t·(β + <α,s>)/Q⌉ mod t.
+func (ct *Ciphertext) Decrypt(p bfv.Params, sk *rlwe.SecretKey) uint64 {
+	pt := p.Decrypt(ct.AsRLWE(p), sk)
+	return pt.Coeffs[0]
+}
+
+// PackingKeys holds the automorphism switching keys PACKLWES needs:
+// Keys[k] switches φ_k(s) back to s for k = 2i+1, i = 1, 2, 4, ..., m/2.
+type PackingKeys struct {
+	M    int
+	Keys map[int]*rlwe.SwitchingKey
+}
+
+// GenPackingKeys generates the ⌈log2 m⌉ switching keys needed to pack m
+// LWE ciphertexts. m must be a power of two, 1 <= m <= N.
+func GenPackingKeys(p bfv.Params, rng *rand.Rand, sk *rlwe.SecretKey, m int) (*PackingKeys, error) {
+	if m < 1 || m&(m-1) != 0 || m > p.R.N {
+		return nil, fmt.Errorf("lwe: m=%d must be a power of two in [1,N]", m)
+	}
+	pk := &PackingKeys{M: m, Keys: map[int]*rlwe.SwitchingKey{}}
+	for i := 1; i < m; i <<= 1 {
+		k := 2*i + 1
+		pk.Keys[k] = p.AutomorphismKeyGen(rng, sk, k)
+	}
+	return pk, nil
+}
+
+// PackTwoLWEs merges two packed groups of size i into one of size 2i
+// (Alg. 2): ct = (ct_e + X^{N/2i}·ct_o) + φ_{2i+1}(ct_e - X^{N/2i}·ct_o),
+// with the automorphism realised homomorphically via the switching key.
+func PackTwoLWEs(p bfv.Params, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey) *rlwe.Ciphertext {
+	r := p.R
+	z := r.N / (2 * i)
+	lv := ctE.Levels()
+	mono := &rlwe.Ciphertext{B: r.NewPoly(lv), A: r.NewPoly(lv)}
+	p.MulMonomial(mono, ctO, z)
+
+	plus := &rlwe.Ciphertext{B: r.NewPoly(lv), A: r.NewPoly(lv)}
+	minus := &rlwe.Ciphertext{B: r.NewPoly(lv), A: r.NewPoly(lv)}
+	p.Add(plus, ctE, mono)
+	p.Sub(minus, ctE, mono)
+
+	autod := p.AutomorphCt(minus, 2*i+1, swk)
+	p.Add(plus, plus, autod)
+	return plus
+}
+
+// PackLWEs packs the given LWE ciphertexts (Alg. 3) into a single RLWE
+// ciphertext. len(cts) must be a power of two not exceeding N, and keys
+// must cover that size. Element i of the result's plaintext lives at
+// coefficient i·N/len(cts), scaled by len(cts) (fold bfv.InvPow2 into the
+// upstream encoding to cancel it).
+func PackLWEs(p bfv.Params, cts []*Ciphertext, keys *PackingKeys) (*rlwe.Ciphertext, error) {
+	m := len(cts)
+	if m < 1 || m&(m-1) != 0 || m > p.R.N {
+		return nil, fmt.Errorf("lwe: cannot pack %d ciphertexts (need power of two in [1,N])", m)
+	}
+	if keys.M < m {
+		return nil, fmt.Errorf("lwe: packing keys cover m=%d < %d", keys.M, m)
+	}
+	rl := make([]*rlwe.Ciphertext, m)
+	for i, c := range cts {
+		rl[i] = c.AsRLWE(p)
+	}
+	return packRec(p, rl, keys), nil
+}
+
+func packRec(p bfv.Params, cts []*rlwe.Ciphertext, keys *PackingKeys) *rlwe.Ciphertext {
+	if len(cts) == 1 {
+		return cts[0]
+	}
+	half := len(cts) / 2
+	evens := make([]*rlwe.Ciphertext, 0, half)
+	odds := make([]*rlwe.Ciphertext, 0, half)
+	for i, c := range cts {
+		if i%2 == 0 {
+			evens = append(evens, c)
+		} else {
+			odds = append(odds, c)
+		}
+	}
+	ctE := packRec(p, evens, keys)
+	ctO := packRec(p, odds, keys)
+	k := 2*half + 1
+	return PackTwoLWEs(p, half, ctE, ctO, keys.Keys[k])
+}
+
+// PackReductions returns the number of PACKTWOLWES invocations needed to
+// pack m ciphertexts: m-1 (the paper's "4095 reductions to pack 4096").
+func PackReductions(m int) int { return m - 1 }
+
+// SlotStride returns the coefficient stride between packed values: N/m.
+func SlotStride(n, m int) int { return n / m }
+
+// PackCoefficients compacts chosen coefficients of one RLWE ciphertext:
+// it extracts the plaintext coefficients at the given indices and repacks
+// them contiguously (stride N/2^ceil(log2(len))) into a fresh ciphertext.
+// This is the ciphertext-compaction use of the Alg. 2/3 machinery: after
+// a convolution or dot-product batch, only the useful coefficients
+// survive, at 2^ℓ scale (cancel with bfv.InvPow2 upstream, or multiply
+// the result by it downstream when t is odd).
+func PackCoefficients(p bfv.Params, ct *rlwe.Ciphertext, indices []int, keys *PackingKeys) (*rlwe.Ciphertext, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("lwe: no indices")
+	}
+	mPad := 1
+	for mPad < len(indices) {
+		mPad <<= 1
+	}
+	if mPad > p.R.N {
+		return nil, fmt.Errorf("lwe: %d indices exceed N", len(indices))
+	}
+	cts := make([]*Ciphertext, mPad)
+	for i, idx := range indices {
+		cts[i] = Extract(p, ct, idx)
+	}
+	for i := len(indices); i < mPad; i++ {
+		lv := ct.Levels()
+		z := &Ciphertext{Beta: make([]uint64, lv), Alpha: make([][]uint64, lv)}
+		for l := 0; l < lv; l++ {
+			z.Alpha[l] = make([]uint64, p.R.N)
+		}
+		cts[i] = z
+	}
+	return PackLWEs(p, cts, keys)
+}

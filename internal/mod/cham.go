@@ -1,0 +1,16 @@
+package mod
+
+// The CHAM parameter set (§II-F, §IV-A.3): three prime moduli with exactly
+// three non-zero bits each, all congruent to 1 modulo 2N for N = 4096, so
+// that both the negacyclic NTT and the shift-add reduction datapath apply.
+const (
+	// ChamQ0 is the first 35-bit ciphertext modulus, 2^34 + 2^27 + 1.
+	ChamQ0 = 1<<34 + 1<<27 + 1
+	// ChamQ1 is the second 35-bit ciphertext modulus, 2^34 + 2^19 + 1.
+	ChamQ1 = 1<<34 + 1<<19 + 1
+	// ChamP is the 39-bit special (key-switching) modulus, 2^38 + 2^23 + 1.
+	ChamP = 1<<38 + 1<<23 + 1
+)
+
+// ChamModuli returns the paper's moduli in RNS order {q0, q1, p}.
+func ChamModuli() []uint64 { return []uint64{ChamQ0, ChamQ1, ChamP} }

@@ -1,0 +1,74 @@
+package mod
+
+import "math/bits"
+
+// Folding reduction for low-Hamming-weight moduli q = 2^e2 + 2^e1 + 1:
+// the DSP-free datapath alternative the paper's §IV-A.3 trades against.
+// Using 2^e2 ≡ -(2^e1 + 1) (mod q), the high bits of a value fold into
+// the low bits with shifts and subtractions until the magnitude is small
+// enough for a final correction.
+
+// foldOnce reduces the magnitude of a signed accumulator by folding the
+// bits above e2: v = lo + hi·2^e2 ≡ lo - hi·(2^e1 + 1).
+func (m Modulus) foldOnce(v int64) int64 {
+	hi := v >> m.E2 // arithmetic shift: floors for negatives
+	lo := v - hi<<m.E2
+	return lo - hi<<m.E1 - hi
+}
+
+// FoldReduce128 reduces hi·2^64 + lo modulo a low-Hamming-weight modulus
+// using only shifts, additions and one final small correction — no
+// multiplier at all. It panics on moduli without the special form.
+func (m Modulus) FoldReduce128(hi, lo uint64) uint64 {
+	if !m.LowHW {
+		panic("mod: FoldReduce128 on a modulus without low-Hamming-weight form")
+	}
+	// Horner over 2^step with ≡-substitution folding: consume the 128-bit
+	// input in `step`-bit chunks from the top, keeping a signed
+	// accumulator small by folding until it sits below 2^(e2+2). The
+	// chunk width is capped so the pre-fold magnitude stays inside int64:
+	// |acc|·2^step + chunk < 2^(e2+2+step) + 2^step ≤ 2^62 + 2^62.
+	step := int(m.E2)
+	if lim := 62 - int(m.E2) - 2; step > lim {
+		step = lim
+	}
+	if step < 1 {
+		step = 1
+	}
+	bound := int64(1) << (m.E2 + 2)
+	var acc int64
+	for pos := 128; pos > 0; pos -= step {
+		chunkBits := step
+		if pos < chunkBits {
+			chunkBits = pos
+		}
+		shift := pos - chunkBits
+		var chunk uint64
+		switch {
+		case shift >= 64:
+			chunk = (hi >> (shift - 64)) & (1<<chunkBits - 1)
+		case shift+chunkBits <= 64:
+			chunk = (lo >> shift) & (1<<chunkBits - 1)
+		default:
+			chunk = (lo>>shift | hi<<(64-shift)) & (1<<chunkBits - 1)
+		}
+		acc = acc<<chunkBits + int64(chunk)
+		// Each fold contracts |acc| by at least 3/4 above the bound
+		// (e1 ≤ e2-1), so this terminates quickly.
+		for acc >= bound || acc <= -bound {
+			acc = m.foldOnce(acc)
+		}
+	}
+	// Final correction: acc is within a few multiples of q.
+	r := acc % int64(m.Q)
+	if r < 0 {
+		r += int64(m.Q)
+	}
+	return uint64(r)
+}
+
+// MulFold multiplies two reduced residues using the folding reduction.
+func (m Modulus) MulFold(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.FoldReduce128(hi, lo)
+}

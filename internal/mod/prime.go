@@ -1,0 +1,172 @@
+package mod
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// mrBases is a deterministic witness set for Miller-Rabin on all n < 2^64
+// (Sinclair, 2011).
+var mrBases = [...]uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022}
+
+// IsPrime reports whether n is prime, deterministically for all uint64.
+func IsPrime(n uint64) bool {
+	switch {
+	case n < 2:
+		return false
+	case n < 4:
+		return true
+	case n&1 == 0:
+		return false
+	}
+	// Quick trial division by small primes.
+	for _, p := range [...]uint64{3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := uint(bits.TrailingZeros64(d))
+	d >>= r
+	for _, a := range mrBases {
+		a %= n
+		if a == 0 {
+			continue
+		}
+		x := powMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := uint(0); i < r-1; i++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// mulMod and powMod are self-contained helpers usable on any modulus
+// (including even ones), needed before a Modulus can be built.
+func mulMod(a, b, n uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, r := bits.Div64(hi%n, lo, n)
+	return r
+}
+
+func powMod(b, e, n uint64) uint64 {
+	b %= n
+	r := uint64(1) % n
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulMod(r, b, n)
+		}
+		b = mulMod(b, b, n)
+		e >>= 1
+	}
+	return r
+}
+
+// NTTFriendlyPrimes returns the first count primes q with q ≡ 1 (mod 2n),
+// starting from the largest such candidate below 2^logQ and descending.
+// These are suitable as RNS limbs for a negacyclic NTT of size n.
+func NTTFriendlyPrimes(logQ uint, n uint64, count int) ([]uint64, error) {
+	if logQ < 4 || logQ > MaxModulusBits {
+		return nil, fmt.Errorf("mod: logQ=%d out of range", logQ)
+	}
+	step := 2 * n
+	// Largest multiple of 2n at or below 2^logQ - 1, plus 1.
+	q := (uint64(1)<<logQ-1)/step*step + 1
+	var out []uint64
+	for ; q > 1<<(logQ-1) && len(out) < count; q -= step {
+		if IsPrime(q) {
+			out = append(out, q)
+		}
+	}
+	if len(out) < count {
+		return nil, fmt.Errorf("mod: found only %d/%d %d-bit NTT-friendly primes for n=%d",
+			len(out), count, logQ, n)
+	}
+	return out, nil
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group Z_q^* for a
+// prime q. It factors q-1 by trial division (fine for the ≤62-bit moduli we
+// support) and tests candidates g = 2, 3, ...
+func PrimitiveRoot(q uint64) (uint64, error) {
+	if !IsPrime(q) {
+		return 0, fmt.Errorf("mod: %d is not prime", q)
+	}
+	factors := distinctPrimeFactors(q - 1)
+	for g := uint64(2); g < q; g++ {
+		ok := true
+		for _, f := range factors {
+			if powMod(g, (q-1)/f, q) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("mod: no primitive root found for %d", q)
+}
+
+func distinctPrimeFactors(n uint64) []uint64 {
+	var fs []uint64
+	for _, p := range [...]uint64{2, 3, 5} {
+		if n%p == 0 {
+			fs = append(fs, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	// Wheel over 6k±1.
+	for d := uint64(7); d*d <= n; d += 6 {
+		for _, c := range [...]uint64{d, d + 4} {
+			if n%c == 0 {
+				fs = append(fs, c)
+				for n%c == 0 {
+					n /= c
+				}
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// RootOfUnity returns a primitive order-th root of unity modulo the prime q.
+// order must divide q-1 and be a power of two for NTT use, though any
+// divisor is accepted.
+func RootOfUnity(q, order uint64) (uint64, error) {
+	if order == 0 || (q-1)%order != 0 {
+		return 0, fmt.Errorf("mod: order %d does not divide %d-1", order, q)
+	}
+	g, err := PrimitiveRoot(q)
+	if err != nil {
+		return 0, err
+	}
+	w := powMod(g, (q-1)/order, q)
+	// Sanity: w^order == 1 and w^(order/2) != 1 (primitivity) for even order.
+	if powMod(w, order, q) != 1 {
+		return 0, fmt.Errorf("mod: internal error, root has wrong order")
+	}
+	if order%2 == 0 && powMod(w, order/2, q) == 1 {
+		return 0, fmt.Errorf("mod: root of unity is not primitive")
+	}
+	return w, nil
+}

@@ -1,0 +1,167 @@
+package mod
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{}
+	// Sieve up to 10000 as ground truth.
+	const lim = 10000
+	sieve := make([]bool, lim)
+	for i := 2; i < lim; i++ {
+		if !sieve[i] {
+			primes[uint64(i)] = true
+			for j := i * i; j < lim; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	for n := uint64(0); n < lim; n++ {
+		if IsPrime(n) != primes[n] {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, IsPrime(n), primes[n])
+		}
+	}
+}
+
+func TestIsPrimeKnownLarge(t *testing.T) {
+	known := []struct {
+		n  uint64
+		ok bool
+	}{
+		{ChamQ0, true},
+		{ChamQ1, true},
+		{ChamP, true},
+		{(1 << 61) - 1, true},         // Mersenne prime M61
+		{(1 << 61) + 1, false},        // divisible by 3? 2^61+1: 2≡-1 mod 3, (-1)^61+1=0 -> yes
+		{18446744073709551557, true},  // largest 64-bit prime
+		{18446744073709551615, false}, // 2^64-1
+		{uint64(3215031751), false},   // strong pseudoprime to bases 2,3,5,7
+		{ChamQ0 * 2, false},
+	}
+	for _, c := range known {
+		if got := IsPrime(c.n); got != c.ok {
+			t.Errorf("IsPrime(%d) = %v, want %v", c.n, got, c.ok)
+		}
+	}
+}
+
+func TestIsPrimeVsTrialDivision(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trial := func(n uint64) bool {
+		if n < 2 {
+			return false
+		}
+		for d := uint64(2); d*d <= n; d++ {
+			if n%d == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 500; i++ {
+		n := rng.Uint64() % 1_000_000
+		if IsPrime(n) != trial(n) {
+			t.Fatalf("IsPrime(%d) disagrees with trial division", n)
+		}
+	}
+}
+
+func TestNTTFriendlyPrimes(t *testing.T) {
+	for _, n := range []uint64{8, 1024, 4096} {
+		ps, err := NTTFriendlyPrimes(40, n, 3)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		seen := map[uint64]bool{}
+		for _, q := range ps {
+			if !IsPrime(q) {
+				t.Errorf("n=%d: %d not prime", n, q)
+			}
+			if (q-1)%(2*n) != 0 {
+				t.Errorf("n=%d: %d not 1 mod 2n", n, q)
+			}
+			if q>>39 == 0 || q>>40 != 0 {
+				t.Errorf("n=%d: %d not 40-bit", n, q)
+			}
+			if seen[q] {
+				t.Errorf("n=%d: duplicate prime %d", n, q)
+			}
+			seen[q] = true
+		}
+	}
+	if _, err := NTTFriendlyPrimes(2, 4096, 1); err == nil {
+		t.Error("expected error for tiny logQ")
+	}
+	if _, err := NTTFriendlyPrimes(14, 4096, 100); err == nil {
+		t.Error("expected error when not enough primes exist")
+	}
+}
+
+func TestPrimitiveRoot(t *testing.T) {
+	for _, q := range []uint64{5, 97, 65537, ChamQ0, ChamQ1, ChamP} {
+		g, err := PrimitiveRoot(q)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		// g must not have order dividing (q-1)/f for any prime factor f.
+		for _, f := range distinctPrimeFactors(q - 1) {
+			if powMod(g, (q-1)/f, q) == 1 {
+				t.Errorf("q=%d: %d is not a primitive root (order divides (q-1)/%d)", q, g, f)
+			}
+		}
+	}
+	if _, err := PrimitiveRoot(100); err == nil {
+		t.Error("PrimitiveRoot(100): expected error for composite")
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	for _, q := range ChamModuli() {
+		m := New(q)
+		for _, order := range []uint64{2, 8192, 4096} {
+			w, err := RootOfUnity(q, order)
+			if err != nil {
+				t.Fatalf("q=%d order=%d: %v", q, order, err)
+			}
+			if m.Pow(w, order) != 1 {
+				t.Errorf("q=%d: w^%d != 1", q, order)
+			}
+			if m.Pow(w, order/2) == 1 {
+				t.Errorf("q=%d: w not primitive of order %d", q, order)
+			}
+		}
+	}
+	if _, err := RootOfUnity(ChamQ0, 5); err == nil {
+		t.Error("expected error: 5 does not divide q0-1 = 2^27·3·43")
+	}
+	// order does divide q-1 but is odd>1: 129 divides q0-1 = 2^27*129.
+	if w, err := RootOfUnity(ChamQ0, 129); err != nil {
+		t.Errorf("order 129: %v", err)
+	} else if powMod(w, 129, ChamQ0) != 1 {
+		t.Error("order-129 root check failed")
+	}
+}
+
+func TestDistinctPrimeFactors(t *testing.T) {
+	cases := map[uint64][]uint64{
+		2:          {2},
+		12:         {2, 3},
+		97:         {97},
+		8192:       {2},
+		ChamQ0 - 1: {2, 3, 43}, // 2^27 * 129 = 2^27 * 3 * 43
+	}
+	for n, want := range cases {
+		got := distinctPrimeFactors(n)
+		if len(got) != len(want) {
+			t.Errorf("factors(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("factors(%d) = %v, want %v", n, got, want)
+			}
+		}
+	}
+}

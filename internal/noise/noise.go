@@ -1,0 +1,137 @@
+// Package noise provides an analytic noise-budget estimator for the CHAM
+// pipeline, implementing the §II-F parameter reasoning (DESIGN.md §3):
+// fresh encryption noise, plaintext-multiplication growth, the rescale
+// division by the special modulus, hybrid key-switch noise, and the
+// packing tree's doubling. Tests validate every estimate against noise
+// measured on real ciphertexts, so the parameter headroom the paper
+// claims ("reduce the noise from 30 bit to 26 bit") is checked rather
+// than asserted.
+//
+// Estimates are high-probability bounds in bits (log2 of the ∞-norm),
+// using the standard sub-Gaussian heuristics: a sum of k independent
+// terms of magnitude B contributes ≈ B·sqrt(k) with a small safety
+// factor.
+package noise
+
+import (
+	"math"
+
+	"cham/internal/bfv"
+)
+
+// Estimator predicts noise magnitudes for a parameter set.
+type Estimator struct {
+	P bfv.Params
+	// Sigma is the noise standard deviation (CBD eta/2 variance).
+	Sigma float64
+	// Slack is the safety factor (in standard deviations) for
+	// high-probability bounds; 6 keeps failures out of test runs.
+	Slack float64
+}
+
+// New returns an estimator for the parameter set.
+func New(p bfv.Params) *Estimator {
+	return &Estimator{P: p, Sigma: math.Sqrt(float64(p.Eta) / 2), Slack: 6}
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// n returns the ring degree as float.
+func (e *Estimator) n() float64 { return float64(e.P.R.N) }
+
+// Budget returns log2(Δ/2) at the given level count: the noise ceiling
+// for correct decryption.
+func (e *Estimator) Budget(levels int) float64 {
+	d := e.P.Delta(levels)
+	return float64(d.BitLen()) - 1
+}
+
+// FreshSym bounds fresh symmetric-encryption noise: e + small rounding.
+func (e *Estimator) FreshSym() float64 {
+	return log2(e.Slack * e.Sigma)
+}
+
+// FreshPK bounds public-key encryption noise: b·u + e0 + e1·s, two ring
+// products of ternary by noise plus noise terms.
+func (e *Estimator) FreshPK() float64 {
+	// ‖u·e‖ ≈ σ·sqrt(2N/3) for ternary u (variance 2/3).
+	prod := e.Sigma * math.Sqrt(2*e.n()/3)
+	return log2(e.Slack * (2*prod + e.Sigma))
+}
+
+// AfterMulPlain bounds noise after multiplying a ciphertext with noise
+// 2^base by a plaintext with centred coefficients bounded by ptBound:
+// the noise convolves with the plaintext, ≈ e·ptBound·sqrt(N).
+func (e *Estimator) AfterMulPlain(base, ptBound float64) float64 {
+	return base + log2(ptBound*math.Sqrt(e.n()))
+}
+
+// AfterRescale bounds noise after dividing by the special modulus p:
+// the carried noise shrinks by p; rounding adds ≈ (1+‖s‖₁)/2 ≈ sqrt(N)
+// with ternary s.
+func (e *Estimator) AfterRescale(base float64) float64 {
+	p := float64(e.P.R.Moduli[e.P.R.Levels()-1].Q)
+	carried := base - log2(p)
+	round := log2(e.Slack * math.Sqrt(e.n()) / 2)
+	return maxF(carried, round) + 0.5 // +0.5: the two terms add
+}
+
+// KeySwitchAdditive bounds the additive noise of one hybrid key switch:
+// dnum digits of magnitude ≤ q_max/2 convolved with key noise, divided by
+// the special modulus, plus the ModDown rounding.
+func (e *Estimator) KeySwitchAdditive() float64 {
+	qMax := 0.0
+	for _, m := range e.P.R.Moduli[:e.P.NormalLevels] {
+		if q := float64(m.Q); q > qMax {
+			qMax = q
+		}
+	}
+	p := float64(e.P.R.Moduli[e.P.R.Levels()-1].Q)
+	dnum := float64(e.P.NormalLevels)
+	prod := (qMax / 2) * e.Sigma * math.Sqrt(e.n()) * math.Sqrt(dnum)
+	round := math.Sqrt(e.n()) / 2
+	return log2(e.Slack * (prod/p + round))
+}
+
+// AfterPack bounds noise after packing m = 2^l LWE ciphertexts whose
+// inputs carry noise 2^base: each tree level doubles the carried noise
+// and adds one key switch.
+func (e *Estimator) AfterPack(base float64, m int) float64 {
+	levels := 0
+	for v := 1; v < m; v <<= 1 {
+		levels++
+	}
+	carried := base + float64(levels) // ×2 per level
+	ks := e.KeySwitchAdditive()
+	// Σ 2^j·ks over levels ≈ 2^levels·ks.
+	ksTotal := ks + float64(levels)
+	return log2(math.Pow(2, carried) + math.Pow(2, ksTotal))
+}
+
+// HMVPOutput bounds the end-to-end noise of Alg. 1 with an m-row tile and
+// full-range plaintext rows (bounded by t/2).
+func (e *Estimator) HMVPOutput(m int) float64 {
+	fresh := e.FreshSym()
+	mul := e.AfterMulPlain(fresh, float64(e.P.T.Q)/2)
+	res := e.AfterRescale(mul)
+	return e.AfterPack(res, m)
+}
+
+// MaxPackRows returns the largest power-of-two tile that keeps the
+// end-to-end HMVP noise below the decryption budget.
+func (e *Estimator) MaxPackRows() int {
+	best := 0
+	for m := 1; m <= e.P.R.N; m <<= 1 {
+		if e.HMVPOutput(m) < e.Budget(e.P.NormalLevels) {
+			best = m
+		}
+	}
+	return best
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+package noise
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cham/internal/bfv"
+	"cham/internal/core"
+	"cham/internal/lwe"
+	"cham/internal/rlwe"
+)
+
+func testSetup(tb testing.TB, n int) (bfv.Params, *Estimator, *rand.Rand, *rlwe.SecretKey) {
+	tb.Helper()
+	p, err := bfv.NewChamParams(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	return p, New(p), rng, p.KeyGen(rng)
+}
+
+// checkBound asserts measured ≤ predicted and predicted is not wildly
+// pessimistic (within `slackBits` of the measurement).
+func checkBound(t *testing.T, name string, measured, predicted, slackBits float64) {
+	t.Helper()
+	if measured > predicted {
+		t.Errorf("%s: measured %.1f bits exceeds prediction %.1f", name, measured, predicted)
+	}
+	if predicted > measured+slackBits {
+		t.Errorf("%s: prediction %.1f bits is %.1f above measurement %.1f (too loose)",
+			name, predicted, predicted-measured, measured)
+	}
+	t.Logf("%s: measured %.1f, predicted %.1f bits", name, measured, predicted)
+}
+
+func TestFreshNoiseBounds(t *testing.T) {
+	p, est, rng, sk := testSetup(t, 256)
+	ct := p.EncryptZeroSym(rng, sk, 2)
+	checkBound(t, "fresh symmetric", p.NoiseBits(ct, sk, nil), est.FreshSym(), 6)
+
+	pk := p.PublicKeyGen(rng, sk)
+	ctPK := p.EncryptZeroPK(rng, pk, 2)
+	checkBound(t, "fresh public-key", p.NoiseBits(ctPK, sk, nil), est.FreshPK(), 8)
+}
+
+func TestMulPlainAndRescaleBounds(t *testing.T) {
+	p, est, rng, sk := testSetup(t, 256)
+
+	vec := make([]uint64, p.R.N)
+	row := make([]uint64, p.R.N)
+	for i := range vec {
+		vec[i] = rng.Uint64() % p.T.Q
+		row[i] = rng.Uint64() % p.T.Q
+	}
+	pt := p.EncodeRow(row, 1)
+	ctAug := p.Encrypt(rng, sk, p.EncodeVector(vec), 3)
+
+	// Expected payload for noise measurement: Δ₃·(row * vec) / P rounded.
+	prodCt := p.MulPlainRescale(ctAug, pt)
+	want := expectedRescaledPayload(p, pt, p.EncodeVector(vec))
+	measured := p.NoiseBits(prodCt, sk, want)
+
+	mul := est.AfterMulPlain(est.FreshSym(), float64(p.T.Q)/2)
+	predicted := est.AfterRescale(mul)
+	checkBound(t, "mul+rescale", measured, predicted, 10)
+
+	// The paper's point: the rescaled noise must sit far below the direct
+	// (normal-basis) multiplication noise.
+	if direct := est.AfterMulPlain(est.FreshSym(), float64(p.T.Q)/2); predicted >= direct {
+		t.Errorf("rescale estimate %.1f not below direct-mul estimate %.1f", predicted, direct)
+	}
+}
+
+func TestKeySwitchBound(t *testing.T) {
+	p, est, rng, sk := testSetup(t, 256)
+	sk2 := p.KeyGen(rng)
+	swk := p.SwitchingKeyGen(rng, sk, sk2.Value)
+	ct := p.EncryptZeroSym(rng, sk2, 2)
+	switched := p.KeySwitch(ct, swk)
+	measured := p.NoiseBits(switched, sk, nil)
+	predicted := est.KeySwitchAdditive() + 1 // plus the carried fresh noise
+	checkBound(t, "key switch", measured, predicted, 8)
+}
+
+func TestPackBound(t *testing.T) {
+	p, est, rng, sk := testSetup(t, 256)
+	const m = 64
+	keys, err := lwe.GenPackingKeys(p, rng, sk, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := make([]*lwe.Ciphertext, m)
+	mus := make([]uint64, m)
+	for i := range cts {
+		mus[i] = rng.Uint64() % p.T.Q
+		ct := p.Encrypt(rng, sk, p.EncodeVector([]uint64{mus[i]}), 2)
+		cts[i] = lwe.Extract(p, ct, 0)
+	}
+	packed, err := lwe.PackLWEs(p, cts, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The phase at slot i·stride must be m·Δ·lift(μ_i) + noise; positions
+	// between slots carry algorithmic garbage and are excluded (downstream
+	// consumers never read them).
+	phase := p.Phase(packed, sk)
+	vals := p.R.ToBigIntCentered(phase, 2)
+	delta := p.Delta(2)
+	q := p.R.Modulus(2)
+	half := new(big.Int).Rsh(q, 1)
+	stride := lwe.SlotStride(p.R.N, m)
+	measured := 0.0
+	diff := new(big.Int)
+	for i := 0; i < m; i++ {
+		want := new(big.Int).Mul(delta, big.NewInt(p.T.CenterLift(mus[i])))
+		want.Mul(want, big.NewInt(m))
+		diff.Sub(vals[i*stride], want)
+		diff.Mod(diff, q)
+		if diff.Cmp(half) > 0 {
+			diff.Sub(diff, q)
+		}
+		if b := float64(new(big.Int).Abs(diff).BitLen()); b > measured {
+			measured = b
+		}
+	}
+	predicted := est.AfterPack(est.FreshSym(), m)
+	checkBound(t, "pack-64", measured, predicted, 12)
+}
+
+// TestHMVPBudget: the end-to-end estimate stays below the decryption
+// budget at every tile size — and real HMVPs at the extremes decrypt
+// correctly (the functional proof).
+func TestHMVPBudget(t *testing.T) {
+	p, est, rng, sk := testSetup(t, 256)
+	for m := 1; m <= p.R.N; m <<= 1 {
+		if est.HMVPOutput(m) >= est.Budget(2) {
+			t.Errorf("m=%d: estimated noise %.1f exceeds budget %.1f",
+				m, est.HMVPOutput(m), est.Budget(2))
+		}
+	}
+	if got := est.MaxPackRows(); got != p.R.N {
+		t.Errorf("MaxPackRows = %d, want full N=%d at CHAM parameters", got, p.R.N)
+	}
+	// Functional check at the largest tile.
+	ev, err := core.NewEvaluator(p, rng, sk, p.R.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := make([][]uint64, p.R.N)
+	for i := range A {
+		A[i] = make([]uint64, p.R.N)
+		for j := range A[i] {
+			A[i][j] = rng.Uint64() % p.T.Q
+		}
+	}
+	v := make([]uint64, p.R.N)
+	for j := range v {
+		v[j] = rng.Uint64() % p.T.Q
+	}
+	res, err := ev.MatVec(A, core.EncryptVector(p, rng, sk, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := core.DecryptResult(p, res, sk)
+	want := core.PlainMatVec(p, A, v)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("full-tile HMVP wrong at %d", i)
+		}
+	}
+}
+
+// TestBudgetMatchesDesignDoc: the DESIGN.md §3 numbers — Δ ≈ 2^51 at the
+// normal basis for t=65537.
+func TestBudgetMatchesDesignDoc(t *testing.T) {
+	_, est, _, _ := testSetup(t, 256)
+	b := est.Budget(2)
+	if b < 50 || b > 53 {
+		t.Errorf("budget %.1f bits, DESIGN.md expects ≈ 51", b)
+	}
+}
+
+// expectedRescaledPayload computes round(Δ₃·(a*b)/P) over the integers.
+func expectedRescaledPayload(p bfv.Params, a, b *bfv.Plaintext) []*big.Int {
+	n := p.R.N
+	conv := make([]*big.Int, n)
+	for i := range conv {
+		conv[i] = new(big.Int)
+	}
+	tmp := new(big.Int)
+	for i := 0; i < n; i++ {
+		ai := p.T.CenterLift(a.Coeffs[i])
+		if ai == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			bj := p.T.CenterLift(b.Coeffs[j])
+			if bj == 0 {
+				continue
+			}
+			tmp.SetInt64(ai)
+			tmp.Mul(tmp, big.NewInt(bj))
+			k := i + j
+			if k < n {
+				conv[k].Add(conv[k], tmp)
+			} else {
+				conv[k-n].Sub(conv[k-n], tmp)
+			}
+		}
+	}
+	delta3 := p.Delta(3)
+	pBig := new(big.Int).SetUint64(p.R.Moduli[2].Q)
+	half := new(big.Int).Rsh(pBig, 1)
+	out := make([]*big.Int, n)
+	for i, c := range conv {
+		v := new(big.Int).Mul(delta3, c)
+		v.Add(v, half)
+		v.Div(v, pBig)
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package ntt
+
+// Constant-geometry (Pease) NTT, CHAM Alg. 4. Every stage applies the same
+// wiring: butterfly j reads positions (j, j+N/2) of the source buffer and
+// writes positions (2j, 2j+1) of the destination buffer, so the datapath
+// between RAM banks and butterfly units is stage-invariant — the property
+// that lets CHAM avoid HEAX's LUT-based multiplexer trees.
+//
+// The stage-s twiddle for butterfly j is
+//
+//	rootsFwd[2^s + (j mod 2^s)]
+//
+// Derivation: each CG stage writes butterfly j's outputs to (2j, 2j+1), a
+// perfect shuffle, so at the start of stage s the buffer holds the standard
+// algorithm's array with index bits rotated right by s. Rotating the CG
+// read addresses (j, j+N/2) back shows the standard block index — which
+// selects the twiddle — equals the LOW s bits of j. Consequently stage s
+// cycles through its 2^s distinct factors with period 2^s: in any clock
+// cycle the n_bf BFUs consume n_bf DIFFERENT factors (one "column" of the
+// paper's Fig. 4), and BFU b only ever needs the factors with index ≡ b
+// (mod n_bf) — hence one private ROM bank per BFU.
+
+// CGTwiddleIndex returns the index into the unified root table used by
+// stage s, butterfly j (Alg. 4's ω[i·N/2+j] fetch).
+func (t *Table) CGTwiddleIndex(s, j int) int {
+	return 1<<s + j&(1<<s-1)
+}
+
+// pingPong returns two work buffers (a, b) such that running `stages`
+// alternating passes a→b, b→a, ... leaves the final result in the buffer
+// that is dst, avoiding a trailing copy. src is only read.
+func pingPong(dst, src []uint64, stages int) (a, b []uint64) {
+	if stages%2 == 1 {
+		a = make([]uint64, len(src))
+		copy(a, src)
+		return a, dst
+	}
+	copy(dst, src)
+	return dst, make([]uint64, len(src))
+}
+
+// ForwardCG computes the negacyclic NTT of src into dst (natural order in,
+// bit-reversed out) with the constant-geometry dataflow. dst and src must
+// both have length N; they may alias each other exactly or not at all.
+func (t *Table) ForwardCG(dst, src []uint64) {
+	if len(dst) != t.N || len(src) != t.N {
+		panic("ntt: length mismatch")
+	}
+	m := t.M
+	q := m.Q
+	half := t.N / 2
+	cur, next := pingPong(dst, src, t.LogN)
+	for s := 0; s < t.LogN; s++ {
+		for j := 0; j < half; j++ {
+			k := t.CGTwiddleIndex(s, j)
+			u := cur[j]
+			v := m.MulShoup(cur[j+half], t.rootsFwd[k], t.rootsFwdShoup[k])
+			sum := u + v
+			if sum >= q {
+				sum -= q
+			}
+			diff := u - v
+			if u < v {
+				diff += q
+			}
+			next[2*j], next[2*j+1] = sum, diff
+		}
+		cur, next = next, cur
+	}
+}
+
+// InverseCG computes the inverse negacyclic NTT of src into dst
+// (bit-reversed in, natural order out) by reversing the constant-geometry
+// dataflow: stage s gathers pairs (2j, 2j+1) and scatters to (j, j+N/2),
+// with the inverse twiddles and a final N^-1 scaling.
+func (t *Table) InverseCG(dst, src []uint64) {
+	if len(dst) != t.N || len(src) != t.N {
+		panic("ntt: length mismatch")
+	}
+	m := t.M
+	q := m.Q
+	half := t.N / 2
+	cur, next := pingPong(dst, src, t.LogN)
+	for s := t.LogN - 1; s >= 0; s-- {
+		for j := 0; j < half; j++ {
+			k := t.CGTwiddleIndex(s, j)
+			x, y := cur[2*j], cur[2*j+1]
+			sum := x + y
+			if sum >= q {
+				sum -= q
+			}
+			diff := x - y
+			if x < y {
+				diff += q
+			}
+			next[j] = sum
+			next[j+half] = m.MulShoup(diff, t.rootsInv[k], t.rootsInvShoup[k])
+		}
+		cur, next = next, cur
+	}
+	for j := range dst {
+		dst[j] = m.MulShoup(dst[j], t.nInv, t.nInvShoup)
+	}
+}
+
+// CGCycles returns the clock-cycle latency of one constant-geometry NTT with
+// nbf butterfly units: (N/2 · log2 N)/n_bf (paper §IV.A.1). For CHAM's
+// N=4096, n_bf=4 this is 6144.
+func CGCycles(n, nbf int) int {
+	logN := 0
+	for v := n; v > 1; v >>= 1 {
+		logN++
+	}
+	return n / 2 * logN / nbf
+}

@@ -1,0 +1,72 @@
+package ntt
+
+// Forward computes the in-place negacyclic NTT of a (natural coefficient
+// order in, bit-reversed evaluation order out) with the standard iterative
+// Cooley-Tukey decimation-in-time schedule. This is the software baseline
+// the paper's CPU numbers correspond to.
+func (t *Table) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	m := t.M
+	q := m.Q
+	span := t.N
+	for blocks := 1; blocks < t.N; blocks <<= 1 {
+		span >>= 1
+		for i := 0; i < blocks; i++ {
+			w := t.rootsFwd[blocks+i]
+			wp := t.rootsFwdShoup[blocks+i]
+			base := 2 * i * span
+			for j := base; j < base+span; j++ {
+				u := a[j]
+				v := m.MulShoup(a[j+span], w, wp)
+				s := u + v
+				if s >= q {
+					s -= q
+				}
+				d := u - v
+				if u < v {
+					d += q
+				}
+				a[j], a[j+span] = s, d
+			}
+		}
+	}
+}
+
+// Inverse computes the in-place inverse negacyclic NTT (bit-reversed in,
+// natural order out) with the Gentleman-Sande schedule, including the final
+// N^-1 scaling.
+func (t *Table) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	m := t.M
+	q := m.Q
+	span := 1
+	for blocks := t.N >> 1; blocks >= 1; blocks >>= 1 {
+		base := 0
+		for i := 0; i < blocks; i++ {
+			w := t.rootsInv[blocks+i]
+			wp := t.rootsInvShoup[blocks+i]
+			for j := base; j < base+span; j++ {
+				u, v := a[j], a[j+span]
+				s := u + v
+				if s >= q {
+					s -= q
+				}
+				d := u - v
+				if u < v {
+					d += q
+				}
+				a[j] = s
+				a[j+span] = m.MulShoup(d, w, wp)
+			}
+			base += 2 * span
+		}
+		span <<= 1
+	}
+	for j := range a {
+		a[j] = m.MulShoup(a[j], t.nInv, t.nInvShoup)
+	}
+}

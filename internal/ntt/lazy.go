@@ -1,0 +1,49 @@
+package ntt
+
+// Lazy-reduction forward transform: butterflies keep values in [0, 4q)
+// and only reduce when they would overflow, the standard Harvey
+// optimization. On CHAM's ≤39-bit moduli the headroom to 2^64 allows the
+// full transform with one conditional correction per butterfly input —
+// this is the software trick that narrows the gap to the calibrated CPU
+// model (and mirrors the lazy pipelines real HE libraries use).
+
+// ForwardLazy computes the same transform as Forward with lazy reductions.
+// Output is fully reduced.
+func (t *Table) ForwardLazy(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	m := t.M
+	q := m.Q
+	twoQ := 2 * q
+	span := t.N
+	for blocks := 1; blocks < t.N; blocks <<= 1 {
+		span >>= 1
+		for i := 0; i < blocks; i++ {
+			w := t.rootsFwd[blocks+i]
+			wp := t.rootsFwdShoup[blocks+i]
+			base := 2 * i * span
+			for j := base; j < base+span; j++ {
+				// Keep u in [0, 2q): reduce only when it reaches 4q-range.
+				u := a[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				// MulShoupLazy accepts any uint64 and returns [0, 2q).
+				v := m.MulShoupLazy(a[j+span], w, wp)
+				a[j] = u + v             // < 4q
+				a[j+span] = u + twoQ - v // < 4q
+			}
+		}
+	}
+	for j := range a {
+		v := a[j]
+		if v >= twoQ {
+			v -= twoQ
+		}
+		if v >= q {
+			v -= q
+		}
+		a[j] = v
+	}
+}

@@ -1,0 +1,42 @@
+package ntt
+
+import "cham/internal/mod"
+
+// This file holds O(N²) reference implementations used as ground truth in
+// tests. They are deliberately simple and are not exported for production
+// use.
+
+// naiveForward evaluates a at ψ^(2k+1) for k = 0..N-1 and returns the
+// results in natural k order (NOT bit-reversed).
+func (t *Table) naiveForward(a []uint64) []uint64 {
+	m := t.M
+	out := make([]uint64, t.N)
+	for k := 0; k < t.N; k++ {
+		x := m.Pow(t.Psi, uint64(2*k+1)) // evaluation point
+		var acc, pw uint64 = 0, 1
+		for n := 0; n < t.N; n++ {
+			acc = m.Add(acc, m.Mul(a[n], pw))
+			pw = m.Mul(pw, x)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// NaiveNegacyclicMul returns a·b mod (X^N+1, q) by schoolbook convolution.
+func NaiveNegacyclicMul(m mod.Modulus, a, b []uint64) []uint64 {
+	n := len(a)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := m.Mul(a[i], b[j])
+			k := i + j
+			if k < n {
+				out[k] = m.Add(out[k], p)
+			} else {
+				out[k-n] = m.Sub(out[k-n], p)
+			}
+		}
+	}
+	return out
+}

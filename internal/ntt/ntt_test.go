@@ -1,0 +1,314 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cham/internal/mod"
+)
+
+// smallPrime returns an NTT-friendly prime for size n usable in exhaustive
+// small-N tests.
+func smallPrime(t *testing.T, n uint64) uint64 {
+	t.Helper()
+	ps, err := mod.NTTFriendlyPrimes(20, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps[0]
+}
+
+func randomPoly(rng *rand.Rand, n int, q uint64) []uint64 {
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % q
+	}
+	return a
+}
+
+func TestNewTableRejectsBadParams(t *testing.T) {
+	if _, err := NewTable(3, 97); err == nil {
+		t.Error("non-power-of-two N accepted")
+	}
+	if _, err := NewTable(0, 97); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewTable(4096, 97); err == nil {
+		t.Error("q not 1 mod 2N accepted")
+	}
+	if _, err := NewTable(4, 16); err == nil {
+		t.Error("even q accepted")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable did not panic on bad params")
+		}
+	}()
+	MustTable(3, 97)
+}
+
+// TestForwardMatchesNaive checks that Forward output equals the O(N²)
+// evaluation at ψ^(2k+1) in bit-reversed order.
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		q := smallPrime(t, uint64(n))
+		tb := MustTable(n, q)
+		for trial := 0; trial < 5; trial++ {
+			a := randomPoly(rng, n, q)
+			want := tb.naiveForward(a)
+			got := make([]uint64, n)
+			copy(got, a)
+			tb.Forward(got)
+			for j := 0; j < n; j++ {
+				if got[j] != want[brv(uint(j), tb.LogN)] {
+					t.Fatalf("N=%d trial %d: Forward[%d]=%d, naive[brv]=%d",
+						n, trial, j, got[j], want[brv(uint(j), tb.LogN)])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 64, 256, 4096} {
+		for _, q := range []uint64{mod.ChamQ0, mod.ChamQ1, mod.ChamP} {
+			tb := MustTable(n, q)
+			a := randomPoly(rng, n, q)
+			b := make([]uint64, n)
+			copy(b, a)
+			tb.Forward(b)
+			tb.Inverse(b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("N=%d q=%d: round trip differs at %d", n, q, i)
+				}
+			}
+		}
+	}
+}
+
+// TestConvolutionTheorem: INTT(NTT(a) ∘ NTT(b)) must equal the negacyclic
+// product of a and b.
+func TestConvolutionTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 32, 128} {
+		q := smallPrime(t, uint64(n))
+		tb := MustTable(n, q)
+		a := randomPoly(rng, n, q)
+		b := randomPoly(rng, n, q)
+		want := NaiveNegacyclicMul(tb.M, a, b)
+
+		fa := append([]uint64(nil), a...)
+		fb := append([]uint64(nil), b...)
+		tb.Forward(fa)
+		tb.Forward(fb)
+		for i := range fa {
+			fa[i] = tb.M.Mul(fa[i], fb[i])
+		}
+		tb.Inverse(fa)
+		for i := range want {
+			if fa[i] != want[i] {
+				t.Fatalf("N=%d: product differs at %d: got %d want %d", n, i, fa[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNTTLinearity property-tests that the transform is linear.
+func TestNTTLinearity(t *testing.T) {
+	const n = 64
+	q := uint64(mod.ChamQ0)
+	tb := MustTable(n, q)
+	rng := rand.New(rand.NewSource(4))
+	f := func(c uint64) bool {
+		c %= q
+		a := randomPoly(rng, n, q)
+		b := randomPoly(rng, n, q)
+		// lhs = NTT(c·a + b)
+		lhs := make([]uint64, n)
+		for i := range lhs {
+			lhs[i] = tb.M.Add(tb.M.Mul(c, a[i]), b[i])
+		}
+		tb.Forward(lhs)
+		// rhs = c·NTT(a) + NTT(b)
+		tb.Forward(a)
+		tb.Forward(b)
+		for i := range a {
+			r := tb.M.Add(tb.M.Mul(c, a[i]), b[i])
+			if r != lhs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardCGMatchesCT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 4, 8, 16, 256, 4096} {
+		for _, q := range []uint64{mod.ChamQ0, mod.ChamP} {
+			tb := MustTable(n, q)
+			a := randomPoly(rng, n, q)
+			want := append([]uint64(nil), a...)
+			tb.Forward(want)
+			got := make([]uint64, n)
+			tb.ForwardCG(got, a)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("N=%d q=%d: CG differs from CT at %d", n, q, i)
+				}
+			}
+		}
+	}
+}
+
+func TestInverseCGMatchesCT(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{2, 4, 8, 16, 256, 4096} {
+		q := uint64(mod.ChamQ1)
+		tb := MustTable(n, q)
+		a := randomPoly(rng, n, q) // arbitrary NTT-domain data
+		want := append([]uint64(nil), a...)
+		tb.Inverse(want)
+		got := make([]uint64, n)
+		tb.InverseCG(got, a)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("N=%d: InverseCG differs from Inverse at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestCGRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{8, 128, 4096} {
+		tb := MustTable(n, mod.ChamQ0)
+		a := randomPoly(rng, n, tb.M.Q)
+		fwd := make([]uint64, n)
+		back := make([]uint64, n)
+		tb.ForwardCG(fwd, a)
+		tb.InverseCG(back, fwd)
+		for i := range a {
+			if back[i] != a[i] {
+				t.Fatalf("N=%d: CG round trip differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestCGTwiddleIndexLayout(t *testing.T) {
+	tb := MustTable(32, smallPrime(t, 32))
+	// Stage s uses exactly 2^s distinct twiddle indices, cycling with
+	// period 2^s, so consecutive butterflies (one Fig.-4 "column" per clock
+	// cycle) consume distinct factors and BFU b only ever needs indices
+	// ≡ b (mod n_bf).
+	for s := 0; s < tb.LogN; s++ {
+		period := 1 << s
+		seen := map[int]bool{}
+		for j := 0; j < tb.N/2; j++ {
+			k := tb.CGTwiddleIndex(s, j)
+			if k < 1<<s || k >= 2<<s {
+				t.Fatalf("stage %d: twiddle index %d outside [%d,%d)", s, k, 1<<s, 2<<s)
+			}
+			if j >= period && k != tb.CGTwiddleIndex(s, j-period) {
+				t.Fatalf("stage %d: sequence not periodic with period %d at j=%d", s, period, j)
+			}
+			if j < period {
+				if seen[k] {
+					t.Fatalf("stage %d: twiddle %d repeated within one period", s, k)
+				}
+				seen[k] = true
+			}
+		}
+		if len(seen) != period {
+			t.Fatalf("stage %d: %d distinct twiddles, want %d", s, len(seen), period)
+		}
+	}
+	// The total distinct-factor footprint across all stages is N-1
+	// (paper §IV.A.2: "the size of twiddle factors is equal to the size of
+	// a polynomial").
+	distinct := map[int]bool{}
+	for s := 0; s < tb.LogN; s++ {
+		for j := 0; j < tb.N/2; j++ {
+			distinct[tb.CGTwiddleIndex(s, j)] = true
+		}
+	}
+	if len(distinct) != tb.N-1 {
+		t.Fatalf("%d distinct twiddle indices, want N-1 = %d", len(distinct), tb.N-1)
+	}
+}
+
+func TestBitReverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomPoly(rng, 64, 1<<40)
+	b := append([]uint64(nil), a...)
+	BitReverse(b)
+	BitReverse(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("BitReverse is not an involution")
+		}
+	}
+}
+
+func TestForwardPanicsOnLengthMismatch(t *testing.T) {
+	tb := MustTable(8, smallPrime(t, 8))
+	for name, fn := range map[string]func(){
+		"Forward":   func() { tb.Forward(make([]uint64, 4)) },
+		"Inverse":   func() { tb.Inverse(make([]uint64, 4)) },
+		"ForwardCG": func() { tb.ForwardCG(make([]uint64, 8), make([]uint64, 4)) },
+		"InverseCG": func() { tb.InverseCG(make([]uint64, 4), make([]uint64, 8)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestForwardLazyMatchesForward: the lazy-reduction variant is
+// bit-identical to the strict one on random and adversarial inputs.
+func TestForwardLazyMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{8, 256, 4096} {
+		for _, q := range []uint64{mod.ChamQ0, mod.ChamQ1, mod.ChamP} {
+			tb := MustTable(n, q)
+			for trial := 0; trial < 4; trial++ {
+				a := randomPoly(rng, n, q)
+				if trial == 1 { // all q-1: worst-case magnitudes
+					for i := range a {
+						a[i] = q - 1
+					}
+				}
+				if trial == 2 {
+					for i := range a {
+						a[i] = 0
+					}
+				}
+				want := append([]uint64(nil), a...)
+				tb.Forward(want)
+				got := append([]uint64(nil), a...)
+				tb.ForwardLazy(got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("N=%d q=%d trial %d: lazy differs at %d", n, q, trial, i)
+					}
+				}
+			}
+		}
+	}
+}

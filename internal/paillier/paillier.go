@@ -1,0 +1,179 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem — the scheme the FATE federated-learning framework used for
+// HeteroLR before CHAM's B/FV replacement (§V-B.3). It exists as the
+// baseline the paper's Fig. 7 compares against: every ciphertext operation
+// is a big-integer exponentiation modulo n², which is why the B/FV+CHAM
+// path wins by orders of magnitude on matrix-vector products.
+//
+// Randomness is an injectable *rand.Rand for reproducibility; as with the
+// rest of this reproduction, the implementation is not hardened for
+// production use.
+package paillier
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// PublicKey is (n, g) with g = n+1.
+type PublicKey struct {
+	N  *big.Int
+	N2 *big.Int // n²
+}
+
+// PrivateKey adds the decryption trapdoor λ, μ.
+type PrivateKey struct {
+	PublicKey
+	Lambda *big.Int
+	Mu     *big.Int
+}
+
+// Ciphertext is an element of Z_{n²}.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// GenKey generates a key pair with primes of the given bit length
+// (modulus ≈ 2·bits). FATE deployments use 1024-bit primes; tests use
+// smaller ones for speed.
+func GenKey(rng *rand.Rand, bits int) (*PrivateKey, error) {
+	if bits < 16 {
+		return nil, fmt.Errorf("paillier: prime size %d too small", bits)
+	}
+	p := randomPrime(rng, bits)
+	q := randomPrime(rng, bits)
+	for p.Cmp(q) == 0 {
+		q = randomPrime(rng, bits)
+	}
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	qm1 := new(big.Int).Sub(q, big.NewInt(1))
+	gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+	lambda := new(big.Int).Mul(pm1, qm1)
+	lambda.Quo(lambda, gcd) // lcm(p-1, q-1)
+
+	// With g = n+1: L(g^λ mod n²) = λ mod n, so μ = λ^{-1} mod n.
+	mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+	if mu == nil {
+		return nil, fmt.Errorf("paillier: degenerate key (λ not invertible)")
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: n, N2: n2},
+		Lambda:    lambda,
+		Mu:        mu,
+	}, nil
+}
+
+func randomPrime(rng *rand.Rand, bits int) *big.Int {
+	for {
+		c := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+		c.SetBit(c, bits-1, 1) // force length
+		c.SetBit(c, 0, 1)      // force odd
+		if c.ProbablyPrime(20) {
+			return c
+		}
+	}
+}
+
+// Encrypt encrypts m ∈ [0, n): c = (1+mn)·r^n mod n².
+func (pk *PublicKey) Encrypt(rng *rand.Rand, m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: message out of range")
+	}
+	r := randomUnit(rng, pk.N)
+	c := new(big.Int).Mul(m, pk.N)
+	c.Add(c, big.NewInt(1))
+	c.Mod(c, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c.Mul(c, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+func randomUnit(rng *rand.Rand, n *big.Int) *big.Int {
+	for {
+		r := new(big.Int).Rand(rng, n)
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, n).Cmp(big.NewInt(1)) == 0 {
+			return r
+		}
+	}
+}
+
+// Decrypt recovers m = L(c^λ mod n²)·μ mod n.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) *big.Int {
+	x := new(big.Int).Exp(ct.C, sk.Lambda, sk.N2)
+	x.Sub(x, big.NewInt(1))
+	x.Quo(x, sk.N) // L function
+	x.Mul(x, sk.Mu)
+	x.Mod(x, sk.N)
+	return x
+}
+
+// Add returns the encryption of m1+m2: c1·c2 mod n².
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// AddPlain returns the encryption of m+k.
+func (pk *PublicKey) AddPlain(a *Ciphertext, k *big.Int) *Ciphertext {
+	c := new(big.Int).Mul(new(big.Int).Mod(k, pk.N), pk.N)
+	c.Add(c, big.NewInt(1))
+	c.Mul(c, a.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// MulPlain returns the encryption of m·k: c^k mod n².
+func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) *Ciphertext {
+	kk := new(big.Int).Mod(k, pk.N)
+	return &Ciphertext{C: new(big.Int).Exp(a.C, kk, pk.N2)}
+}
+
+// MatVec computes A·v where v is an encrypted vector — the FATE HeteroLR
+// inner loop: m·n ciphertext exponentiations plus m·(n-1) multiplications.
+func (pk *PublicKey) MatVec(A [][]*big.Int, v []*Ciphertext) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(A))
+	for i, row := range A {
+		if len(row) != len(v) {
+			return nil, fmt.Errorf("paillier: row %d has %d entries, vector has %d", i, len(row), len(v))
+		}
+		var acc *Ciphertext
+		for j, a := range row {
+			term := pk.MulPlain(v[j], a)
+			if acc == nil {
+				acc = term
+			} else {
+				acc = pk.Add(acc, term)
+			}
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// Fixed-point encoding for the federated-learning layer: x -> round(x·2^f)
+// with negatives represented as n - |x|.
+
+// EncodeFixed encodes a float at fractional precision f bits.
+func (pk *PublicKey) EncodeFixed(x float64, f uint) *big.Int {
+	scaled := new(big.Float).Mul(big.NewFloat(x), big.NewFloat(float64(int64(1)<<f)))
+	v, _ := scaled.Int(nil)
+	return v.Mod(v, pk.N)
+}
+
+// DecodeFixed inverts EncodeFixed, interpreting values above n/2 as
+// negative.
+func (pk *PublicKey) DecodeFixed(v *big.Int, f uint) float64 {
+	half := new(big.Int).Rsh(pk.N, 1)
+	c := new(big.Int).Set(v)
+	if c.Cmp(half) > 0 {
+		c.Sub(c, pk.N)
+	}
+	out, _ := new(big.Float).Quo(new(big.Float).SetInt(c), big.NewFloat(float64(int64(1)<<f))).Float64()
+	return out
+}

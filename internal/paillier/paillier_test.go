@@ -1,0 +1,161 @@
+package paillier
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(tb testing.TB) *PrivateKey {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(1))
+	sk, err := GenKey(rng, 128)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sk
+}
+
+func TestGenKeyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := GenKey(rng, 8); err == nil {
+		t.Error("tiny key accepted")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := new(big.Int).Rand(r, sk.N)
+		ct, err := sk.Encrypt(rng, m)
+		if err != nil {
+			return false
+		}
+		return sk.Decrypt(ct).Cmp(m) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+	// Edges.
+	for _, m := range []*big.Int{big.NewInt(0), big.NewInt(1), new(big.Int).Sub(sk.N, big.NewInt(1))} {
+		ct, err := sk.Encrypt(rng, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sk.Decrypt(ct).Cmp(m) != 0 {
+			t.Fatalf("edge %v failed", m)
+		}
+	}
+	// Out of range.
+	if _, err := sk.Encrypt(rng, sk.N); err == nil {
+		t.Error("m = n accepted")
+	}
+	if _, err := sk.Encrypt(rng, big.NewInt(-1)); err == nil {
+		t.Error("negative m accepted")
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	sk := testKey(t)
+	rng := rand.New(rand.NewSource(4))
+	m := big.NewInt(42)
+	c1, _ := sk.Encrypt(rng, m)
+	c2, _ := sk.Encrypt(rng, m)
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Error("two encryptions of the same message are identical")
+	}
+}
+
+func TestHomomorphisms(t *testing.T) {
+	sk := testKey(t)
+	rng := rand.New(rand.NewSource(5))
+	a, b := big.NewInt(123456), big.NewInt(987654)
+	ca, _ := sk.Encrypt(rng, a)
+	cb, _ := sk.Encrypt(rng, b)
+
+	if got := sk.Decrypt(sk.Add(ca, cb)); got.Int64() != 123456+987654 {
+		t.Errorf("Add: %v", got)
+	}
+	if got := sk.Decrypt(sk.AddPlain(ca, big.NewInt(1000))); got.Int64() != 124456 {
+		t.Errorf("AddPlain: %v", got)
+	}
+	if got := sk.Decrypt(sk.MulPlain(ca, big.NewInt(7))); got.Int64() != 7*123456 {
+		t.Errorf("MulPlain: %v", got)
+	}
+	// Negative plaintext scalar wraps mod n.
+	neg := sk.Decrypt(sk.MulPlain(ca, big.NewInt(-1)))
+	if new(big.Int).Add(neg, a).Cmp(sk.N) != 0 {
+		t.Errorf("MulPlain(-1): %v", neg)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	sk := testKey(t)
+	rng := rand.New(rand.NewSource(6))
+	A := [][]*big.Int{
+		{big.NewInt(1), big.NewInt(2), big.NewInt(3)},
+		{big.NewInt(4), big.NewInt(5), big.NewInt(6)},
+	}
+	vals := []int64{10, 20, 30}
+	v := make([]*Ciphertext, 3)
+	for i, x := range vals {
+		v[i], _ = sk.Encrypt(rng, big.NewInt(x))
+	}
+	out, err := sk.MatVec(A, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1*10 + 2*20 + 3*30, 4*10 + 5*20 + 6*30}
+	for i := range want {
+		if got := sk.Decrypt(out[i]); got.Int64() != want[i] {
+			t.Errorf("row %d: %v want %d", i, got, want[i])
+		}
+	}
+	if _, err := sk.MatVec([][]*big.Int{{big.NewInt(1)}}, v); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestFixedPointCodec(t *testing.T) {
+	sk := testKey(t)
+	const f = 24
+	for _, x := range []float64{0, 1, -1, 3.14159, -2.71828, 1e-5, -123.456} {
+		enc := sk.EncodeFixed(x, f)
+		got := sk.DecodeFixed(enc, f)
+		if diff := got - x; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("fixed-point round trip: %f -> %f", x, got)
+		}
+	}
+}
+
+// TestFixedPointHomomorphicDot: a small encrypted dot product with signed
+// fixed-point values, the HeteroLR primitive.
+func TestFixedPointHomomorphicDot(t *testing.T) {
+	sk := testKey(t)
+	rng := rand.New(rand.NewSource(7))
+	const f = 20
+	xs := []float64{0.5, -1.25, 2.0}
+	ws := []float64{1.5, 0.25, -0.75}
+	var want float64
+	cts := make([]*Ciphertext, len(xs))
+	for i := range xs {
+		want += xs[i] * ws[i]
+		cts[i], _ = sk.Encrypt(rng, sk.EncodeFixed(xs[i], f))
+	}
+	var acc *Ciphertext
+	for i := range ws {
+		term := sk.MulPlain(cts[i], sk.EncodeFixed(ws[i], f))
+		if acc == nil {
+			acc = term
+		} else {
+			acc = sk.Add(acc, term)
+		}
+	}
+	got := sk.DecodeFixed(sk.Decrypt(acc), 2*f) // products carry 2f fraction bits
+	if d := got - want; d > 1e-6 || d < -1e-6 {
+		t.Errorf("dot = %f, want %f", got, want)
+	}
+}

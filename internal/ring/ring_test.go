@@ -1,0 +1,404 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cham/internal/mod"
+	"cham/internal/ntt"
+)
+
+// chamRing returns the production ring {q0,q1,p} at a reduced degree for
+// fast tests (all properties are degree-independent).
+func chamRing(tb testing.TB, n int) *Ring {
+	tb.Helper()
+	r, err := New(n, mod.ChamModuli())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+func randPoly(r *Ring, rng *rand.Rand, levels int) *Poly {
+	p := r.NewPoly(levels)
+	r.UniformPoly(rng, p)
+	return p
+}
+
+func TestNewRejectsBadBases(t *testing.T) {
+	if _, err := New(64, nil); err == nil {
+		t.Error("empty basis accepted")
+	}
+	if _, err := New(64, []uint64{mod.ChamQ0, mod.ChamQ0}); err == nil {
+		t.Error("duplicate modulus accepted")
+	}
+	if _, err := New(64, []uint64{97}); err == nil {
+		t.Error("non-NTT-friendly modulus accepted")
+	}
+}
+
+func TestNewPolyBounds(t *testing.T) {
+	r := chamRing(t, 16)
+	for _, lv := range []int{0, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPoly(%d) did not panic", lv)
+				}
+			}()
+			r.NewPoly(lv)
+		}()
+	}
+	if p := r.NewPoly(2); p.Levels() != 2 {
+		t.Error("levels mismatch")
+	}
+}
+
+func TestCopyEqualZero(t *testing.T) {
+	r := chamRing(t, 32)
+	rng := rand.New(rand.NewSource(1))
+	p := randPoly(r, rng, 3)
+	q := p.Copy()
+	if !p.Equal(q) {
+		t.Fatal("copy not equal")
+	}
+	q.Coeffs[1][5]++
+	if p.Equal(q) {
+		t.Fatal("mutated copy still equal")
+	}
+	q.Zero()
+	for l := range q.Coeffs {
+		for _, v := range q.Coeffs[l] {
+			if v != 0 {
+				t.Fatal("Zero left residue")
+			}
+		}
+	}
+	// Domain flag mismatch must break equality.
+	q2 := p.Copy()
+	q2.IsNTT = true
+	if p.Equal(q2) {
+		t.Fatal("domain mismatch ignored by Equal")
+	}
+}
+
+func TestAddSubNegBig(t *testing.T) {
+	r := chamRing(t, 32)
+	rng := rand.New(rand.NewSource(2))
+	a, b := randPoly(r, rng, 3), randPoly(r, rng, 3)
+	q := r.Modulus(3)
+
+	sum, diff, neg := r.NewPoly(3), r.NewPoly(3), r.NewPoly(3)
+	r.Add(sum, a, b)
+	r.Sub(diff, a, b)
+	r.Neg(neg, a)
+
+	ab, bb := r.ToBigIntCentered(a, 3), r.ToBigIntCentered(b, 3)
+	sb, db, nb := r.ToBigIntCentered(sum, 3), r.ToBigIntCentered(diff, 3), r.ToBigIntCentered(neg, 3)
+	tmp := new(big.Int)
+	for i := 0; i < r.N; i++ {
+		if tmp.Sub(sb[i], tmp.Add(ab[i], bb[i])).Mod(tmp, q).Sign() != 0 {
+			t.Fatalf("Add wrong at %d", i)
+		}
+		if tmp.Sub(db[i], tmp.Sub(ab[i], bb[i])).Mod(tmp, q).Sign() != 0 {
+			t.Fatalf("Sub wrong at %d", i)
+		}
+		if tmp.Add(nb[i], ab[i]).Mod(tmp, q).Sign() != 0 {
+			t.Fatalf("Neg wrong at %d", i)
+		}
+	}
+}
+
+func TestLevelAndDomainMismatchPanics(t *testing.T) {
+	r := chamRing(t, 16)
+	a, b := r.NewPoly(2), r.NewPoly(3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("level mismatch not caught")
+			}
+		}()
+		r.Add(r.NewPoly(2), a, b)
+	}()
+	c := r.NewPoly(2)
+	c.IsNTT = true
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("domain mismatch not caught")
+			}
+		}()
+		r.Add(r.NewPoly(2), a, c)
+	}()
+}
+
+func TestMulPolyMatchesNaivePerLimb(t *testing.T) {
+	r := chamRing(t, 64)
+	rng := rand.New(rand.NewSource(3))
+	a, b := randPoly(r, rng, 3), randPoly(r, rng, 3)
+	out := r.NewPoly(3)
+	r.MulPoly(out, a, b)
+	for l := 0; l < 3; l++ {
+		want := ntt.NaiveNegacyclicMul(r.Moduli[l], a.Coeffs[l], b.Coeffs[l])
+		for i := range want {
+			if out.Coeffs[l][i] != want[i] {
+				t.Fatalf("limb %d: product differs at %d", l, i)
+			}
+		}
+	}
+}
+
+func TestNTTRoundTripAndCG(t *testing.T) {
+	r := chamRing(t, 128)
+	rng := rand.New(rand.NewSource(4))
+	a := randPoly(r, rng, 3)
+	b := a.Copy()
+	r.NTT(b)
+	if !b.IsNTT {
+		t.Fatal("flag not set")
+	}
+	cg := a.Copy()
+	r.NTTCG(cg)
+	if !b.Equal(cg) {
+		t.Fatal("NTTCG differs from NTT")
+	}
+	r.INTTCG(cg)
+	r.INTT(b)
+	if !b.Equal(a) || !cg.Equal(a) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestNTTDomainGuards(t *testing.T) {
+	r := chamRing(t, 16)
+	p := r.NewPoly(2)
+	r.NTT(p)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double NTT not caught")
+			}
+		}()
+		r.NTT(p)
+	}()
+	r.INTT(p)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double INTT not caught")
+			}
+		}()
+		r.INTT(p)
+	}()
+}
+
+func TestMulScalarBig(t *testing.T) {
+	r := chamRing(t, 32)
+	rng := rand.New(rand.NewSource(5))
+	a := randPoly(r, rng, 2)
+	c := new(big.Int).Lsh(big.NewInt(123456789), 30) // larger than any limb
+	out := r.NewPoly(2)
+	r.MulScalarBig(out, a, c)
+	q := r.Modulus(2)
+	ab, ob := r.ToBigIntCentered(a, 2), r.ToBigIntCentered(out, 2)
+	tmp := new(big.Int)
+	for i := range ab {
+		want := tmp.Mul(ab[i], c)
+		want.Sub(ob[i], want)
+		if want.Mod(want, q).Sign() != 0 {
+			t.Fatalf("MulScalarBig wrong at %d", i)
+		}
+	}
+}
+
+func TestSetCenteredAndToBigRoundTrip(t *testing.T) {
+	r := chamRing(t, 16)
+	vals := []int64{0, 1, -1, 7, -300, 65536, -65537}
+	p := r.NewPoly(3)
+	r.SetCentered(p, vals)
+	got := r.ToBigIntCentered(p, 3)
+	for i, v := range vals {
+		if got[i].Int64() != v {
+			t.Errorf("coefficient %d: got %v want %d", i, got[i], v)
+		}
+	}
+	for i := len(vals); i < r.N; i++ {
+		if got[i].Sign() != 0 {
+			t.Errorf("padding coefficient %d non-zero", i)
+		}
+	}
+}
+
+func TestFromBigIntRoundTrip(t *testing.T) {
+	r := chamRing(t, 32)
+	rng := rand.New(rand.NewSource(6))
+	q := r.Modulus(3)
+	half := new(big.Int).Rsh(q, 1)
+	coeffs := make([]*big.Int, r.N)
+	for i := range coeffs {
+		c := new(big.Int).Rand(rng, q)
+		c.Sub(c, half) // centred-ish
+		coeffs[i] = c
+	}
+	p := r.NewPoly(3)
+	r.FromBigInt(p, coeffs)
+	back := r.ToBigIntCentered(p, 3)
+	tmp := new(big.Int)
+	for i := range coeffs {
+		if tmp.Sub(back[i], coeffs[i]).Mod(tmp, q).Sign() != 0 {
+			t.Fatalf("round trip differs at %d", i)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := chamRing(t, 1024)
+	rng := rand.New(rand.NewSource(7))
+
+	s := r.NewPoly(3)
+	r.TernaryPoly(rng, s)
+	counts := map[int64]int{}
+	for i := 0; i < r.N; i++ {
+		v := r.Moduli[0].CenterLift(s.Coeffs[0][i])
+		if v < -1 || v > 1 {
+			t.Fatalf("ternary coefficient %d out of range", v)
+		}
+		counts[v]++
+		// All limbs must encode the same centred value.
+		for l := 1; l < 3; l++ {
+			if r.Moduli[l].CenterLift(s.Coeffs[l][i]) != v {
+				t.Fatal("limbs disagree")
+			}
+		}
+	}
+	for v := int64(-1); v <= 1; v++ {
+		if counts[v] < r.N/6 {
+			t.Errorf("ternary value %d badly underrepresented: %d/%d", v, counts[v], r.N)
+		}
+	}
+
+	e := r.NewPoly(3)
+	const eta = 21
+	r.CBDPoly(rng, e, eta)
+	var sum, sumSq float64
+	for i := 0; i < r.N; i++ {
+		v := float64(r.Moduli[0].CenterLift(e.Coeffs[0][i]))
+		if v < -eta || v > eta {
+			t.Fatalf("CBD coefficient %f out of range", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(r.N)
+	variance := sumSq/float64(r.N) - mean*mean
+	if mean > 0.5 || mean < -0.5 {
+		t.Errorf("CBD mean %f too far from 0", mean)
+	}
+	// Var = eta/2 = 10.5; allow generous slack.
+	if variance < 8 || variance > 13.5 {
+		t.Errorf("CBD variance %f outside [8,13.5]", variance)
+	}
+}
+
+func TestModUpMatchesBigInt(t *testing.T) {
+	r := chamRing(t, 64)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		p := randPoly(r, rng, 2)
+		ext := r.ModUp(p)
+		if ext.Levels() != 3 {
+			t.Fatal("level count")
+		}
+		// Existing limbs unchanged.
+		for l := 0; l < 2; l++ {
+			for i := range p.Coeffs[l] {
+				if ext.Coeffs[l][i] != p.Coeffs[l][i] {
+					t.Fatal("ModUp modified source limbs")
+				}
+			}
+		}
+		// New limb must equal the CRT value mod p.
+		vals := r.ToBigIntCentered(p, 2)
+		mp := new(big.Int).SetUint64(r.Moduli[2].Q)
+		tmp := new(big.Int)
+		for i := range vals {
+			want := tmp.Mod(vals[i], mp).Uint64()
+			if ext.Coeffs[2][i] != want {
+				t.Fatalf("trial %d coeff %d: ModUp got %d want %d",
+					trial, i, ext.Coeffs[2][i], want)
+			}
+		}
+	}
+}
+
+func TestModDownIsRoundedDivision(t *testing.T) {
+	r := chamRing(t, 64)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		p := randPoly(r, rng, 3)
+		down := r.ModDown(p)
+		if down.Levels() != 2 {
+			t.Fatal("level count")
+		}
+		vals := r.ToBigIntCentered(p, 3)
+		got := r.ToBigIntCentered(down, 2)
+		sp := new(big.Int).SetUint64(r.Moduli[2].Q)
+		q2 := r.Modulus(2)
+		tmp, rem := new(big.Int), new(big.Int)
+		for i := range vals {
+			// want = round(vals[i]/p): |vals[i] - want*p| <= p/2.
+			tmp.QuoRem(vals[i], sp, rem)
+			want := new(big.Int).Set(tmp)
+			twice := new(big.Int).Abs(rem)
+			twice.Lsh(twice, 1)
+			if twice.Cmp(sp) > 0 { // |rem| > p/2: round away from zero
+				if rem.Sign() >= 0 {
+					want.Add(want, big.NewInt(1))
+				} else {
+					want.Sub(want, big.NewInt(1))
+				}
+			}
+			diff := new(big.Int).Sub(got[i], want)
+			diff.Mod(diff, q2)
+			if diff.Sign() != 0 {
+				// Ties (|rem| == p/2) may legitimately round either way.
+				if twice.Cmp(sp) != 0 {
+					t.Fatalf("trial %d coeff %d: ModDown got %v want %v", trial, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestModGuards(t *testing.T) {
+	r := chamRing(t, 16)
+	full := r.NewPoly(3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ModUp on full basis not caught")
+			}
+		}()
+		r.ModUp(full)
+	}()
+	one := r.NewPoly(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ModDown on single limb not caught")
+			}
+		}()
+		r.ModDown(one)
+	}()
+	nttp := r.NewPoly(2)
+	r.NTT(nttp)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ModUp in NTT domain not caught")
+			}
+		}()
+		r.ModUp(nttp)
+	}()
+}

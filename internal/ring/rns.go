@@ -1,0 +1,157 @@
+package ring
+
+import (
+	"math"
+	"math/big"
+)
+
+// RNS basis conversion. CHAM keeps ciphertexts in the basis {q0, q1} and
+// temporarily extends to {q0, q1, p} ("augmented" form, §II-F) for
+// multiplication and key switching; RESCALE (pipeline stage 4) divides by
+// the special modulus p and returns to the normal basis.
+
+// ToBigIntCentered reconstructs the polynomial over the integers via CRT on
+// the first `levels` limbs, returning centred representatives in
+// (-Q/2, Q/2].
+func (r *Ring) ToBigIntCentered(p *Poly, levels int) []*big.Int {
+	if levels > p.Levels() {
+		panic("ring: not enough limbs")
+	}
+	q := r.Modulus(levels)
+	half := new(big.Int).Rsh(q, 1)
+
+	// Precompute CRT weights w_l = (Q/q_l)·[(Q/q_l)^-1 mod q_l].
+	weights := make([]*big.Int, levels)
+	for l := 0; l < levels; l++ {
+		ql := new(big.Int).SetUint64(r.Moduli[l].Q)
+		qOver := new(big.Int).Quo(q, ql)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qOver, ql), ql)
+		weights[l] = qOver.Mul(qOver, inv)
+	}
+	out := make([]*big.Int, r.N)
+	acc := new(big.Int)
+	term := new(big.Int)
+	for i := 0; i < r.N; i++ {
+		acc.SetInt64(0)
+		for l := 0; l < levels; l++ {
+			term.SetUint64(p.Coeffs[l][i])
+			term.Mul(term, weights[l])
+			acc.Add(acc, term)
+		}
+		acc.Mod(acc, q)
+		v := new(big.Int).Set(acc)
+		if v.Cmp(half) > 0 {
+			v.Sub(v, q)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// FromBigInt writes integer coefficients (any sign/magnitude) into all
+// limbs of p.
+func (r *Ring) FromBigInt(p *Poly, coeffs []*big.Int) {
+	if len(coeffs) > r.N {
+		panic("ring: too many coefficients")
+	}
+	tmp := new(big.Int)
+	for l := range p.Coeffs {
+		ql := new(big.Int).SetUint64(r.Moduli[l].Q)
+		for i := range p.Coeffs[l] {
+			if i < len(coeffs) {
+				tmp.Mod(coeffs[i], ql)
+				p.Coeffs[l][i] = tmp.Uint64()
+			} else {
+				p.Coeffs[l][i] = 0
+			}
+		}
+	}
+	p.IsNTT = false
+}
+
+// ModUp extends a coefficient-domain polynomial from its current basis
+// {q_0..q_{L-1}} to {q_0..q_L} by appending the residues modulo the next
+// limb. It uses the floating-point corrected basis extension of
+// Halevi-Polyakov-Shoup: exact for our two-limb source bases.
+func (r *Ring) ModUp(p *Poly) *Poly {
+	lv := p.Levels()
+	if lv >= len(r.Moduli) {
+		panic("ring: no limb to extend into")
+	}
+	if p.IsNTT {
+		panic("ring: ModUp requires coefficient domain")
+	}
+	out := r.NewPoly(lv + 1)
+	for l := 0; l < lv; l++ {
+		copy(out.Coeffs[l], p.Coeffs[l])
+	}
+	mp := r.Moduli[lv] // target limb
+
+	// Precompute (Q/q_l)^-1 mod q_l and Q/q_l mod p, plus Q mod p.
+	qInv := make([]uint64, lv)   // [(Q/q_l)^-1]_{q_l}
+	qOverP := make([]uint64, lv) // (Q/q_l) mod p
+	qModP := uint64(1)           // Q mod p
+	for l := 0; l < lv; l++ {
+		ml := r.Moduli[l]
+		prod := uint64(1)
+		for k := 0; k < lv; k++ {
+			if k != l {
+				prod = ml.Mul(prod, r.Moduli[k].Q)
+			}
+		}
+		qInv[l] = ml.Inv(prod)
+		prodP := uint64(1)
+		for k := 0; k < lv; k++ {
+			if k != l {
+				prodP = mp.Mul(prodP, r.Moduli[k].Q)
+			}
+		}
+		qOverP[l] = prodP
+		qModP = mp.Mul(qModP, mp.Reduce(r.Moduli[l].Q))
+	}
+
+	for i := 0; i < r.N; i++ {
+		var acc uint64 // Σ y_l·(Q/q_l) mod p
+		var frac float64
+		for l := 0; l < lv; l++ {
+			ml := r.Moduli[l]
+			y := ml.Mul(p.Coeffs[l][i], qInv[l])
+			acc = mp.Add(acc, mp.Mul(y, qOverP[l]))
+			frac += float64(y) / float64(ml.Q)
+		}
+		k := uint64(math.Round(frac))
+		out.Coeffs[lv][i] = mp.Sub(acc, mp.Mul(k, qModP))
+	}
+	out.IsNTT = false
+	return out
+}
+
+// ModDown divides p (in the full current basis, last limb = special
+// modulus) by that special modulus with rounding, dropping the limb:
+// out ≈ round(p / q_last) over the remaining basis. This is the RESCALE
+// unit (stage 4) and the closing step of key switching.
+func (r *Ring) ModDown(p *Poly) *Poly {
+	lv := p.Levels()
+	if lv < 2 {
+		panic("ring: nothing to drop")
+	}
+	if p.IsNTT {
+		panic("ring: ModDown requires coefficient domain")
+	}
+	msp := r.Moduli[lv-1] // the special modulus being divided out
+	out := r.NewPoly(lv - 1)
+	for l := 0; l < lv-1; l++ {
+		ml := r.Moduli[l]
+		pInv := ml.Inv(ml.Reduce(msp.Q))
+		pp := ml.ShoupPrecomp(pInv)
+		for i := 0; i < r.N; i++ {
+			// Centred remainder of the special limb, lifted into limb l:
+			// out = (x - [x]_p)·p^-1 = round(x/p) with |error| <= 1/2.
+			rem := msp.CenterLift(p.Coeffs[lv-1][i])
+			d := ml.Sub(p.Coeffs[l][i], ml.FromCentered(rem))
+			out.Coeffs[l][i] = ml.MulShoup(d, pInv, pp)
+		}
+	}
+	out.IsNTT = false
+	return out
+}

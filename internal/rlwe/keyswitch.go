@@ -1,0 +1,185 @@
+package rlwe
+
+import (
+	"math/big"
+	"math/rand"
+
+	"cham/internal/ring"
+)
+
+// Hybrid (RNS-decomposed) key switching with a special modulus, the scheme
+// implied by CHAM's parameter choice p ≥ q_i (39-bit special vs 35-bit
+// ciphertext limbs). A switching key from s' to s holds one digit per
+// normal limb:
+//
+//	B_j = -A_j·s + P·ê_j·s' + E_j   over the full basis (NTT domain),
+//
+// where P is the product of the special limbs and ê_j is the CRT idempotent
+// of Q (ê_j ≡ 1 mod q_j, ≡ 0 mod q_i for i≠j). Switching decomposes the
+// ciphertext's a-part into its centred RNS digits d_j = [a]_{q_j}, so the
+// digit magnitude is ≤ q_j/2 and the post-rescale noise is
+// ~ √N·q_max·e/(2P) — a few bits at CHAM's sizes.
+
+// SwitchingKeyGen produces a key that re-encrypts phases under srcKey
+// (coefficient domain, full basis) to the params' secret key sk.
+func (p Params) SwitchingKeyGen(rng *rand.Rand, sk *SecretKey, srcKey *ring.Poly) *SwitchingKey {
+	if !p.HasSpecialModulus() {
+		panic("rlwe: key switching requires a special modulus")
+	}
+	r := p.R
+	lv := r.Levels()
+
+	pBig := big.NewInt(1)
+	for _, q := range p.SpecialModuli() {
+		pBig.Mul(pBig, new(big.Int).SetUint64(q))
+	}
+	qBig := r.Modulus(p.NormalLevels)
+
+	srcNTT := srcKey.Copy()
+	r.NTT(srcNTT)
+
+	swk := &SwitchingKey{
+		Bs: make([]*ring.Poly, p.NormalLevels),
+		As: make([]*ring.Poly, p.NormalLevels),
+	}
+	for j := 0; j < p.NormalLevels; j++ {
+		a := r.NewPoly(lv)
+		r.UniformPoly(rng, a)
+		a.IsNTT = true
+		e := r.NewPoly(lv)
+		r.CBDPoly(rng, e, p.Eta)
+		r.NTT(e)
+
+		// w_j = P·ê_j, with ê_j = (Q/q_j)·[(Q/q_j)^-1 mod q_j] mod Q.
+		qj := new(big.Int).SetUint64(r.Moduli[j].Q)
+		qOver := new(big.Int).Quo(qBig, qj)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qOver, qj), qj)
+		eHat := new(big.Int).Mul(qOver, inv)
+		eHat.Mod(eHat, qBig)
+		w := eHat.Mul(eHat, pBig)
+
+		term := r.NewPoly(lv)
+		r.MulScalarBig(term, srcNTT, w)
+
+		b := r.NewPoly(lv)
+		r.MulCoeff(b, a, sk.ValueNTT)
+		r.Neg(b, b)
+		r.Add(b, b, e)
+		r.Add(b, b, term)
+		swk.Bs[j], swk.As[j] = b, a
+	}
+	return swk
+}
+
+// AutomorphismKeyGen produces the switching key for the automorphism
+// X -> X^k, i.e. from φ_k(s) back to s.
+func (p Params) AutomorphismKeyGen(rng *rand.Rand, sk *SecretKey, k int) *SwitchingKey {
+	phiS := p.R.NewPoly(p.R.Levels())
+	p.R.Automorph(phiS, sk.Value, k)
+	return p.SwitchingKeyGen(rng, sk, phiS)
+}
+
+// decomposeDigit lifts the centred residue of row `digit` of a (a
+// normal-basis coefficient-domain polynomial) into a full-basis NTT-domain
+// polynomial whose coefficients are bounded by q_digit/2 in magnitude.
+func (p Params) decomposeDigit(a *ring.Poly, digit int) *ring.Poly {
+	r := p.R
+	lv := r.Levels()
+	md := r.Moduli[digit]
+	out := r.NewPoly(lv)
+	for i := 0; i < r.N; i++ {
+		c := md.CenterLift(a.Coeffs[digit][i])
+		for l := 0; l < lv; l++ {
+			out.Coeffs[l][i] = r.Moduli[l].FromCentered(c)
+		}
+	}
+	r.NTT(out)
+	return out
+}
+
+// KeySwitch converts a normal-basis coefficient-domain ciphertext whose
+// phase decrypts under some source key into one decrypting under the
+// params' key, using the matching switching key. This is the paper's
+// KEYSWITCH stage (the tail of PACKTWOLWES, pipeline stages 5~9).
+func (p Params) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
+	r := p.R
+	if ct.IsNTT() {
+		panic("rlwe: KeySwitch requires coefficient domain")
+	}
+	if ct.Levels() != p.NormalLevels {
+		panic("rlwe: KeySwitch requires a normal-basis ciphertext")
+	}
+	lv := r.Levels()
+	c0 := r.NewPoly(lv)
+	c1 := r.NewPoly(lv)
+	c0.IsNTT, c1.IsNTT = true, true
+	tmp := r.NewPoly(lv)
+	for j := 0; j < p.NormalLevels; j++ {
+		d := p.decomposeDigit(ct.A, j)
+		r.MulCoeff(tmp, d, swk.Bs[j])
+		r.Add(c0, c0, tmp)
+		r.MulCoeff(tmp, d, swk.As[j])
+		r.Add(c1, c1, tmp)
+	}
+	r.INTT(c0)
+	r.INTT(c1)
+
+	// Divide by the special modulus (rounding) back to the normal basis.
+	for c0.Levels() > p.NormalLevels {
+		c0 = r.ModDown(c0)
+		c1 = r.ModDown(c1)
+	}
+	out := &Ciphertext{B: c0, A: c1}
+	r.Add(out.B, out.B, ct.B)
+	return out
+}
+
+// AutomorphCt applies X -> X^k to the ciphertext and key-switches the
+// result back under the original key. swk must be the key produced by
+// AutomorphismKeyGen(·, k). Input and output are normal-basis,
+// coefficient-domain ciphertexts.
+func (p Params) AutomorphCt(ct *Ciphertext, k int, swk *SwitchingKey) *Ciphertext {
+	r := p.R
+	if ct.IsNTT() {
+		panic("rlwe: AutomorphCt requires coefficient domain")
+	}
+	phiB := r.NewPoly(ct.Levels())
+	phiA := r.NewPoly(ct.Levels())
+	r.Automorph(phiB, ct.B, k)
+	r.Automorph(phiA, ct.A, k)
+	// (φb, φa) decrypts under φ(s); switch from φ(s) back to s. The b part
+	// rides along unchanged through KeySwitch.
+	return p.KeySwitch(&Ciphertext{B: phiB, A: phiA}, swk)
+}
+
+// NoiseBits returns log2 of the largest absolute difference between the
+// ciphertext's phase and the expected payload (given as centred big-int
+// coefficients): the consumed noise budget. Returns a negative value for
+// an exact match.
+func (p Params) NoiseBits(ct *Ciphertext, sk *SecretKey, want []*big.Int) float64 {
+	r := p.R
+	ph := p.Phase(ct, sk)
+	got := r.ToBigIntCentered(ph, ct.Levels())
+	q := r.Modulus(ct.Levels())
+	half := new(big.Int).Rsh(q, 1)
+	max := new(big.Int)
+	d := new(big.Int)
+	for i := range got {
+		d.Set(got[i])
+		if i < len(want) {
+			d.Sub(d, want[i])
+		}
+		d.Mod(d, q)
+		if d.Cmp(half) > 0 {
+			d.Sub(d, q)
+		}
+		d.Abs(d)
+		if d.Cmp(max) > 0 {
+			max.Set(d)
+		}
+	}
+	if max.Sign() == 0 {
+		return -1
+	}
+	return float64(max.BitLen())
+}

@@ -1,0 +1,83 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+func validDescriptor() *HMVPDescriptor {
+	return &HMVPDescriptor{
+		Rows: 4096, Cols: 4096,
+		MatrixAddr: 0x1000_0000, VectorAddr: 0x2000_0000,
+		KeyAddr: 0x3000_0000, ResultAddr: 0x4000_0000,
+		PackRowsLog2: 12,
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	d := validDescriptor()
+	words, err := d.Words()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 6 {
+		t.Fatalf("%d words", len(words))
+	}
+	// Every word must fit 63 bits (parity lives in bit 63).
+	for i, w := range words {
+		if w>>63 != 0 {
+			t.Errorf("word %d uses bit 63", i)
+		}
+	}
+	back, err := ParseHMVPDescriptor(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *d {
+		t.Fatalf("round trip: %+v vs %+v", back, d)
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	cases := map[string]func(*HMVPDescriptor){
+		"zero rows":      func(d *HMVPDescriptor) { d.Rows = 0 },
+		"zero cols":      func(d *HMVPDescriptor) { d.Cols = 0 },
+		"huge pack":      func(d *HMVPDescriptor) { d.PackRowsLog2 = 13 },
+		"address range":  func(d *HMVPDescriptor) { d.MatrixAddr = maxAddr },
+		"misaligned":     func(d *HMVPDescriptor) { d.VectorAddr = 0x1001 },
+		"misaligned key": func(d *HMVPDescriptor) { d.KeyAddr = 7 },
+	}
+	for name, corrupt := range cases {
+		d := validDescriptor()
+		corrupt(d)
+		if _, err := d.Words(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ParseHMVPDescriptor(make([]uint64, 5)); err == nil {
+		t.Error("short descriptor accepted")
+	}
+	bad, _ := validDescriptor().Words()
+	bad[0] = 0 // zero geometry
+	if _, err := ParseHMVPDescriptor(bad); err == nil {
+		t.Error("zero-geometry descriptor accepted")
+	}
+}
+
+// TestRunHMVPEndToEnd drives a descriptor through the full
+// runtime/driver/device stack, including a fault-recovery pass.
+func TestRunHMVPEndToEnd(t *testing.T) {
+	dev := NewDevice(2, 200*time.Microsecond, FaultPlan{CorruptWriteEvery: 7})
+	rt, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := rt.RunHMVP(validDescriptor()); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if err := rt.RunHMVP(&HMVPDescriptor{}); err == nil {
+		t.Error("invalid descriptor executed")
+	}
+}

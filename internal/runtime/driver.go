@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Driver is the low-level access layer: verified register loads, job
+// dispatch, and reset. It implements the first RAS feature the paper
+// lists — FPGA register loading error handling — by sealing every
+// configuration word with a parity bit and reading back after write.
+type Driver struct {
+	dev *Device
+	// WriteRetries bounds re-attempts on corrupted register loads.
+	WriteRetries int
+	// recovered counts register loads that needed a retry.
+	recovered int
+}
+
+// NewDriver attaches to a device.
+func NewDriver(dev *Device) *Driver {
+	return &Driver{dev: dev, WriteRetries: 3}
+}
+
+// Alive probes the magic register.
+func (dr *Driver) Alive() bool {
+	return dr.dev.ReadReg(RegMagic) == MagicValue
+}
+
+// LoadConfig writes a configuration word with parity sealing and
+// read-back verification, retrying on corruption.
+func (dr *Driver) LoadConfig(addr uint32, v uint64) error {
+	sealed, err := sealWord(v)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; attempt <= dr.WriteRetries; attempt++ {
+		dr.dev.WriteReg(addr, sealed)
+		got := dr.dev.ReadReg(addr)
+		if got == ^uint64(0) {
+			return fmt.Errorf("runtime: card unresponsive during config load")
+		}
+		if payload, err := checkWord(got); err == nil && payload == v {
+			if attempt > 0 {
+				dr.recovered++
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("runtime: register 0x%04x failed verification after %d retries",
+		addr, dr.WriteRetries)
+}
+
+// RecoveredWrites reports how many register loads needed retries — the
+// counter the production RAS telemetry exports.
+func (dr *Driver) RecoveredWrites() int { return dr.recovered }
+
+// Submit rings the doorbell for an engine and verifies the engine left
+// the idle state (a corrupted doorbell write is simply lost — the same
+// read-back discipline as LoadConfig, with the job-status register as the
+// witness). Retries a bounded number of times.
+func (dr *Driver) Submit(engine int) error {
+	for attempt := 0; attempt <= dr.WriteRetries; attempt++ {
+		dr.dev.WriteReg(RegDoorbell, uint64(engine))
+		s := dr.Status(engine)
+		if s == ^uint64(0) {
+			return fmt.Errorf("runtime: card unresponsive at submit")
+		}
+		if s != JobIdle {
+			if attempt > 0 {
+				dr.recovered++
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("runtime: doorbell for engine %d failed after %d retries",
+		engine, dr.WriteRetries)
+}
+
+// Status reads an engine's job status.
+func (dr *Driver) Status(engine int) uint64 {
+	return dr.dev.ReadReg(RegJobStatus + uint32(4*engine))
+}
+
+// WaitJob polls an engine until it leaves JobRunning or the deadline
+// passes. An all-ones read (hung card) is reported immediately.
+func (dr *Driver) WaitJob(engine int, timeout time.Duration) (uint64, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		s := dr.Status(engine)
+		if s == ^uint64(0) {
+			return 0, fmt.Errorf("runtime: card hung (bus returns all-ones)")
+		}
+		if s != JobRunning {
+			return s, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("runtime: engine %d timed out after %v", engine, timeout)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Reset power-cycles the card.
+func (dr *Driver) Reset() { dr.dev.Reset() }
+
+// Temperature returns the die temperature in degrees C.
+func (dr *Driver) Temperature() float64 {
+	return float64(dr.dev.ReadReg(RegTempMilli)) / 1000
+}
+
+// Heartbeat reads the liveness counter; two equal consecutive reads (or
+// all-ones) indicate a hang.
+func (dr *Driver) Heartbeat() uint64 { return dr.dev.ReadReg(RegHeartbeat) }

@@ -1,0 +1,208 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runtime is the application-facing layer: it owns the driver, schedules
+// jobs across engines, and implements the remaining RAS features — hang
+// detection with automatic reset and replay, and periodic health
+// monitoring.
+type Runtime struct {
+	dr      *Driver
+	engines int
+
+	// JobTimeout bounds one job before the watchdog declares a hang.
+	JobTimeout time.Duration
+	// MaxReplays bounds how often a job is retried across resets/errors.
+	MaxReplays int
+	// TempTripC is the thermal ceiling; health checks above it fail.
+	TempTripC float64
+
+	mu       sync.Mutex
+	free     chan int // engine pool
+	replays  int
+	resets   int
+	gen      int // recovery generation; bumped on every reset
+	statuses []HealthSample
+
+	// op serializes recovery against in-flight jobs: jobs hold the read
+	// side for their whole execution, recovery takes the write side, so a
+	// reset never wipes a job mid-flight and replays run on a quiesced
+	// card.
+	op sync.RWMutex
+}
+
+// HealthSample is one record from the health monitor.
+type HealthSample struct {
+	When     time.Time
+	Alive    bool
+	TempC    float64
+	JobsDone int
+	Resets   int
+}
+
+// New initializes the runtime over a device.
+func New(dev *Device) (*Runtime, error) {
+	dr := NewDriver(dev)
+	if !dr.Alive() {
+		return nil, fmt.Errorf("runtime: no responsive CHAM card")
+	}
+	engines := int(dev.ReadReg(RegEngineCnt))
+	if engines < 1 {
+		return nil, fmt.Errorf("runtime: card reports no engines")
+	}
+	rt := &Runtime{
+		dr:         dr,
+		engines:    engines,
+		JobTimeout: 50 * time.Millisecond,
+		MaxReplays: 3,
+		TempTripC:  85,
+		free:       make(chan int, engines),
+	}
+	for e := 0; e < engines; e++ {
+		rt.free <- e
+	}
+	return rt, nil
+}
+
+// Engines reports the engine count.
+func (rt *Runtime) Engines() int { return rt.engines }
+
+// Driver exposes the lower layer (for telemetry).
+func (rt *Runtime) Driver() *Driver { return rt.dr }
+
+// RunJob executes one accelerator job: acquires an engine, loads its
+// configuration words, rings the doorbell, and waits. Hangs and job
+// errors trigger reset-and-replay up to MaxReplays.
+func (rt *Runtime) RunJob(config []uint64) error {
+	for attempt := 0; ; attempt++ {
+		gen := rt.generation()
+		err := rt.runOnce(config)
+		if err == nil {
+			return nil
+		}
+		rt.mu.Lock()
+		rt.replays++
+		rt.mu.Unlock()
+		if attempt >= rt.MaxReplays {
+			return fmt.Errorf("runtime: job failed after %d replays: %w", attempt, err)
+		}
+		rt.recoverIfStale(gen)
+	}
+}
+
+func (rt *Runtime) generation() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.gen
+}
+
+func (rt *Runtime) runOnce(config []uint64) error {
+	rt.op.RLock()
+	defer rt.op.RUnlock()
+	engine := <-rt.free
+	defer func() { rt.free <- engine }()
+
+	base := RegScratch + uint32(0x40*engine)
+	for i, w := range config {
+		if err := rt.dr.LoadConfig(base+uint32(8*i), w); err != nil {
+			return err
+		}
+	}
+	if err := rt.dr.Submit(engine); err != nil {
+		return err
+	}
+	status, err := rt.dr.WaitJob(engine, rt.JobTimeout)
+	if err != nil {
+		return err
+	}
+	if status != JobDone {
+		// JobError, or JobIdle after a concurrent reset wiped the engine:
+		// either way the job did not complete and must be replayed.
+		return fmt.Errorf("runtime: engine %d finished with status %d", engine, status)
+	}
+	return nil
+}
+
+// recoverIfStale resets the card unless another goroutine already
+// recovered since the caller observed generation gen. The exclusive op
+// lock guarantees no job is in flight during the reset.
+func (rt *Runtime) recoverIfStale(gen int) {
+	rt.op.Lock()
+	defer rt.op.Unlock()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.gen != gen {
+		return // a newer recovery already happened
+	}
+	rt.dr.Reset()
+	rt.gen++
+	rt.resets++
+}
+
+// Replays and Resets report RAS counters.
+func (rt *Runtime) Replays() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.replays
+}
+
+func (rt *Runtime) Resets() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.resets
+}
+
+// HealthCheck samples liveness (heartbeat must advance), temperature and
+// counters; it performs a recovery reset on a detected hang and reports
+// the (post-recovery) state.
+func (rt *Runtime) HealthCheck() HealthSample {
+	gen := rt.generation()
+	h1 := rt.dr.Heartbeat()
+	h2 := rt.dr.Heartbeat()
+	alive := h2 != h1 && h2 != ^uint64(0)
+	if !alive {
+		rt.recoverIfStale(gen)
+	}
+	temp := rt.dr.Temperature()
+	jobs, resets := rt.deviceStats()
+	s := HealthSample{
+		When:     time.Now(),
+		Alive:    alive,
+		TempC:    temp,
+		JobsDone: jobs,
+		Resets:   resets,
+	}
+	rt.mu.Lock()
+	rt.statuses = append(rt.statuses, s)
+	rt.mu.Unlock()
+	return s
+}
+
+// Healthy reports whether the last sample was alive and below the thermal
+// trip point.
+func (rt *Runtime) Healthy() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.statuses) == 0 {
+		return true
+	}
+	last := rt.statuses[len(rt.statuses)-1]
+	return last.Alive && last.TempC < rt.TempTripC
+}
+
+// History returns the collected health samples.
+func (rt *Runtime) History() []HealthSample {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]HealthSample, len(rt.statuses))
+	copy(out, rt.statuses)
+	return out
+}
+
+func (rt *Runtime) deviceStats() (int, int) {
+	return rt.dr.dev.Stats()
+}

@@ -1,0 +1,242 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+const jobDur = 200 * time.Microsecond
+
+func healthyRuntime(t *testing.T, engines int) *Runtime {
+	t.Helper()
+	rt, err := New(NewDevice(engines, jobDur, FaultPlan{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestParitySealing(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xDEADBEEF, 1<<63 - 1} {
+		w, err := sealWord(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := checkWord(w)
+		if err != nil || got != v {
+			t.Fatalf("seal/check round trip failed for %x", v)
+		}
+		// Any single bit flip must be detected... parity catches odd flips.
+		if _, err := checkWord(w ^ 1); err == nil {
+			t.Fatalf("flipped word accepted for %x", v)
+		}
+	}
+	if _, err := sealWord(1 << 63); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	dev := NewDevice(2, jobDur, FaultPlan{})
+	dev.WriteReg(RegMagic, 0) // corrupt the magic
+	if _, err := New(dev); err == nil {
+		t.Error("unresponsive card accepted")
+	}
+	dev2 := NewDevice(0, jobDur, FaultPlan{})
+	if _, err := New(dev2); err == nil {
+		t.Error("engine-less card accepted")
+	}
+}
+
+func TestRunJobHappyPath(t *testing.T) {
+	rt := healthyRuntime(t, 2)
+	for i := 0; i < 10; i++ {
+		if err := rt.RunJob([]uint64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, resets := rt.dr.dev.Stats()
+	if jobs != 10 || resets != 0 {
+		t.Errorf("jobs=%d resets=%d", jobs, resets)
+	}
+	if rt.Replays() != 0 {
+		t.Errorf("unexpected replays: %d", rt.Replays())
+	}
+}
+
+// TestRegisterCorruptionRecovered: the paper's "register loading error
+// handling" — corrupted loads are caught by read-back and retried.
+func TestRegisterCorruptionRecovered(t *testing.T) {
+	dev := NewDevice(1, jobDur, FaultPlan{CorruptWriteEvery: 5})
+	rt, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := rt.RunJob([]uint64{7, 8, 9, 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.dr.RecoveredWrites() == 0 {
+		t.Error("no writes recovered despite injected corruption")
+	}
+}
+
+// TestHangResetReplay: the paper's "FPGA hang/reset" — a hung card is
+// detected by the watchdog timeout, reset, and the job replayed.
+func TestHangResetReplay(t *testing.T) {
+	dev := NewDevice(2, jobDur, FaultPlan{HangAfterJobs: 3})
+	rt, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.JobTimeout = 5 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		if err := rt.RunJob([]uint64{1}); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if rt.Resets() == 0 {
+		t.Error("hang did not trigger a reset")
+	}
+	if rt.Replays() == 0 {
+		t.Error("hang did not trigger a replay")
+	}
+	if _, resets := dev.Stats(); resets == 0 {
+		t.Error("device never reset")
+	}
+}
+
+// TestJobErrorReplay: transient engine errors are retried; persistent
+// ones surface after MaxReplays.
+func TestJobErrorReplay(t *testing.T) {
+	dev := NewDevice(1, jobDur, FaultPlan{FailJobEvery: 4})
+	rt, _ := New(dev)
+	for i := 0; i < 6; i++ {
+		if err := rt.RunJob([]uint64{1}); err != nil {
+			t.Fatalf("job %d not recovered: %v", i, err)
+		}
+	}
+	if rt.Replays() == 0 {
+		t.Error("no replays recorded")
+	}
+	// Persistent failure: every job errors.
+	devBad := NewDevice(1, jobDur, FaultPlan{FailJobEvery: 1})
+	rtBad, _ := New(devBad)
+	if err := rtBad.RunJob([]uint64{1}); err == nil {
+		t.Error("persistently failing job reported success")
+	}
+}
+
+// TestHealthMonitoring: heartbeat advances on a live card; a hang is
+// detected and recovered; overheating flips Healthy.
+func TestHealthMonitoring(t *testing.T) {
+	rt := healthyRuntime(t, 1)
+	s := rt.HealthCheck()
+	if !s.Alive || s.TempC < 20 || s.TempC > 60 {
+		t.Errorf("healthy card sampled as %+v", s)
+	}
+	if !rt.Healthy() {
+		t.Error("healthy card reported unhealthy")
+	}
+
+	// Hang: heartbeat freezes; the check recovers via reset.
+	devHang := NewDevice(1, jobDur, FaultPlan{HangAfterJobs: 1})
+	rtHang, _ := New(devHang)
+	rtHang.JobTimeout = 5 * time.Millisecond
+	_ = rtHang.RunJob([]uint64{1}) // triggers the hang (replayed fine)
+	sample := rtHang.HealthCheck()
+	_ = sample
+	if rtHang.Resets() == 0 {
+		t.Error("health check/watchdog never reset the hung card")
+	}
+	// After recovery the card must respond again.
+	if !rtHang.Driver().Alive() {
+		t.Error("card not alive after recovery")
+	}
+
+	// Overheat: Healthy() goes false above the trip point.
+	devHot := NewDevice(1, jobDur, FaultPlan{OverheatAfterJobs: 1})
+	rtHot, _ := New(devHot)
+	if err := rtHot.RunJob([]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	rtHot.HealthCheck()
+	if rtHot.Healthy() {
+		t.Error("overheated card reported healthy")
+	}
+	if len(rtHot.History()) != 1 {
+		t.Error("history not recorded")
+	}
+}
+
+// TestConcurrentSubmitters: many goroutines share the engine pool without
+// losing jobs.
+func TestConcurrentSubmitters(t *testing.T) {
+	rt := healthyRuntime(t, 2)
+	const jobs = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- rt.RunJob([]uint64{42})
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, _ := rt.dr.dev.Stats()
+	if done != jobs {
+		t.Errorf("device completed %d jobs, want %d", done, jobs)
+	}
+}
+
+// TestConcurrentWithHang: recovery under concurrent load still completes
+// every job.
+func TestConcurrentWithHang(t *testing.T) {
+	dev := NewDevice(2, jobDur, FaultPlan{HangAfterJobs: 5})
+	rt, _ := New(dev)
+	rt.JobTimeout = 5 * time.Millisecond
+	const jobs = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- rt.RunJob([]uint64{1})
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeviceDoorbellEdgeCases(t *testing.T) {
+	dev := NewDevice(1, jobDur, FaultPlan{})
+	dr := NewDriver(dev)
+	if err := dr.Submit(99); err == nil { // bogus engine: never starts
+		t.Error("bogus doorbell reported success")
+	}
+	if s := dr.Status(0); s != JobIdle {
+		t.Errorf("status %d after bogus doorbell", s)
+	}
+	if err := dr.Submit(0); err != nil {
+		t.Fatal(err)
+	}
+	_ = dr.Submit(0) // doorbell on busy engine is harmless
+	if s, err := dr.WaitJob(0, 50*time.Millisecond); err != nil || s != JobDone {
+		t.Errorf("status %d err %v", s, err)
+	}
+}
