@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# Tier-1 gate: everything a PR must keep green.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Hot-path benchmarks + the machine-readable BENCH_hmvp.json report.
+bench:
+	$(GO) test -run xxx -bench 'Software|PreparedMatVec' -benchmem .
+	$(GO) run ./cmd/chambench

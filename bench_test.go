@@ -141,6 +141,7 @@ func benchParams(b *testing.B, n int) Params {
 }
 
 func BenchmarkSoftwareNTT4096(b *testing.B) {
+	b.ReportAllocs()
 	t := ntt.MustTable(4096, mod.ChamQ0)
 	a := make([]uint64, 4096)
 	rng := rand.New(rand.NewSource(1))
@@ -155,6 +156,7 @@ func BenchmarkSoftwareNTT4096(b *testing.B) {
 }
 
 func BenchmarkSoftwareKeySwitch(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams(b, 4096)
 	rng := rand.New(rand.NewSource(2))
 	sk := p.KeyGen(rng)
@@ -167,6 +169,7 @@ func BenchmarkSoftwareKeySwitch(b *testing.B) {
 }
 
 func BenchmarkSoftwareHMVP(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams(b, 4096)
 	rng := rand.New(rand.NewSource(3))
 	sk := p.KeyGen(rng)
@@ -196,7 +199,64 @@ func BenchmarkSoftwareHMVP(b *testing.B) {
 	b.ReportMetric(float64(m), "rows/op")
 }
 
+// BenchmarkPreparedMatVec separates the HMVP's one-time per-matrix work
+// (encode + lift + forward NTT of every row) from the per-vector pipeline:
+// "cold" pays Prepare on every iteration, "warm" reuses one PreparedMatrix
+// and a resident Result, which after warm-up runs allocation-free.
+func BenchmarkPreparedMatVec(b *testing.B) {
+	p := benchParams(b, 4096)
+	rng := rand.New(rand.NewSource(7))
+	sk := p.KeyGen(rng)
+	const m = 8
+	ev, err := NewEvaluator(p, rng, sk, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	A := make([][]uint64, m)
+	for i := range A {
+		A[i] = make([]uint64, 4096)
+		for j := range A[i] {
+			A[i][j] = rng.Uint64() % p.T.Q
+		}
+	}
+	v := make([]uint64, 4096)
+	for j := range v {
+		v[j] = rng.Uint64() % p.T.Q
+	}
+	ctV := EncryptVector(p, rng, sk, v)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pm, err := ev.Prepare(A)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pm.Apply(ctV); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		pm, err := ev.Prepare(A)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := pm.NewResult()
+		if err := pm.ApplyInto(res, ctV); err != nil { // warm the pools
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := pm.ApplyInto(res, ctV); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkSoftwareEncrypt(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams(b, 4096)
 	rng := rand.New(rand.NewSource(4))
 	sk := p.KeyGen(rng)
@@ -362,6 +422,7 @@ func BenchmarkAblationDiagonal(b *testing.B) {
 // BenchmarkSoftwareNTTLazy measures the lazy-reduction forward transform
 // against the strict one (BenchmarkAblationNTTDataflow/cooley-tukey).
 func BenchmarkSoftwareNTTLazy(b *testing.B) {
+	b.ReportAllocs()
 	t := ntt.MustTable(4096, mod.ChamQ0)
 	a := make([]uint64, 4096)
 	rng := rand.New(rand.NewSource(9))
@@ -377,6 +438,7 @@ func BenchmarkSoftwareNTTLazy(b *testing.B) {
 // BenchmarkSoftwarePackLWEs measures the Alg. 3 packing tree (m-1
 // PACKTWOLWES reductions) in software at production degree.
 func BenchmarkSoftwarePackLWEs(b *testing.B) {
+	b.ReportAllocs()
 	p := benchParams(b, 4096)
 	rng := rand.New(rand.NewSource(10))
 	sk := p.KeyGen(rng)

@@ -1,0 +1,170 @@
+// Command chambench measures this repository's software HMVP hot path and
+// emits machine-readable results for tracking. For each configuration it
+// times the per-call MatVec (which redoes the row encode/lift/NTT every
+// call) against the prepared-matrix path (Prepare once, ApplyInto per
+// vector, allocation-free after warm-up) and records ns/op, allocs/op,
+// bytes/op, rows/s, and the warm-over-cold speedup in BENCH_hmvp.json.
+//
+// The 256×4096 matrix is measured at two ring degrees. At the production
+// degree N=4096 the whole vector fits one ciphertext chunk, so the
+// m-1 = 255 key-switches of the packing tree — per-vector work no amount
+// of matrix preparation can remove — dominate both paths. At N=512 the
+// same matrix spans 8 column chunks per row, the regime where the
+// amortized encode+lift+NTT work dominates and preparation pays off.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"cham"
+)
+
+type result struct {
+	Name       string  `json:"name"`
+	RingDegree int     `json:"ring_degree"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+	BytesOp    int64   `json:"bytes_per_op"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+type report struct {
+	Benchmarks []result           `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"prepared_apply_speedup"`
+}
+
+// bench runs f under the testing harness and converts the outcome.
+func bench(name string, n, m, cols int, f func(b *testing.B)) result {
+	r := testing.Benchmark(f)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return result{
+		Name:       name,
+		RingDegree: n,
+		Rows:       m,
+		Cols:       cols,
+		NsPerOp:    ns,
+		AllocsOp:   r.AllocsPerOp(),
+		BytesOp:    r.AllocedBytesPerOp(),
+		RowsPerSec: float64(m) / ns * 1e9,
+	}
+}
+
+// runShape measures one matrix shape at one ring degree: per-call MatVec,
+// cold Prepare+Apply, and warm ApplyInto reuse.
+func runShape(ringN, m, cols int, workers int) ([]result, float64, error) {
+	params, err := cham.NewParams(ringN)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := cham.NewRNG(99)
+	sk := params.KeyGen(rng)
+	ev, err := cham.NewEvaluator(params, rng, sk, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev.Workers = workers
+	A := make([][]uint64, m)
+	for i := range A {
+		A[i] = make([]uint64, cols)
+		for j := range A[i] {
+			A[i][j] = rng.Uint64() % params.T.Q
+		}
+	}
+	v := make([]uint64, cols)
+	for j := range v {
+		v[j] = rng.Uint64() % params.T.Q
+	}
+	ctV := cham.EncryptVector(params, rng, sk, v)
+
+	// Correctness gate before timing anything.
+	pm, err := ev.Prepare(A)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := pm.Apply(ctV)
+	if err != nil {
+		return nil, 0, err
+	}
+	want := cham.PlainMatVec(params, A, v)
+	for i, got := range cham.DecryptResult(params, res, sk) {
+		if got != want[i] {
+			return nil, 0, fmt.Errorf("N=%d: verification failed at row %d", ringN, i)
+		}
+	}
+
+	tag := func(s string) string { return fmt.Sprintf("%s/N=%d", s, ringN) }
+	matvec := bench(tag("MatVec"), ringN, m, cols, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.MatVec(A, ctV); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cold := bench(tag("Prepared/cold"), ringN, m, cols, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pm, err := ev.Prepare(A)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pm.Apply(ctV); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warm := bench(tag("Prepared/warm"), ringN, m, cols, func(b *testing.B) {
+		b.ReportAllocs()
+		out := pm.NewResult()
+		if err := pm.ApplyInto(out, ctV); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := pm.ApplyInto(out, ctV); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return []result{matvec, cold, warm}, matvec.NsPerOp / warm.NsPerOp, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_hmvp.json", "output path for the JSON report")
+	workers := flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	const m, cols = 256, 4096
+	rep := report{Speedups: map[string]float64{}}
+	for _, ringN := range []int{4096, 512, 256} {
+		results, speedup, err := runShape(ringN, m, cols, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chambench:", err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, results...)
+		rep.Speedups[fmt.Sprintf("N=%d", ringN)] = speedup
+		for _, r := range results {
+			fmt.Printf("%-22s %12.0f ns/op %8d allocs/op %10.0f rows/s\n",
+				r.Name, r.NsPerOp, r.AllocsOp, r.RowsPerSec)
+		}
+		fmt.Printf("  warm Apply speedup over MatVec at N=%d: %.2fx\n", ringN, speedup)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chambench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "chambench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

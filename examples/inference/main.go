@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "HMVP worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
 	params := cham.MustParams(64)
 	rng := cham.NewRNG(11)
 	sk := params.KeyGen(rng)
@@ -22,6 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	gen.Ev.Workers = *workers
 
 	// A 8-16-4 MLP with random weights (stand-in for a trained model).
 	dims := []int{8, 16, 4}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -14,12 +15,14 @@ import (
 )
 
 func main() {
+	engines := flag.Int("workers", 2, "simulated accelerator engines (parallel job lanes)")
+	flag.Parse()
 	faults := chamrt.FaultPlan{
 		CorruptWriteEvery: 9,  // every 9th register write flips a bit
 		HangAfterJobs:     6,  // the card wedges after job 6
 		FailJobEvery:      11, // and sporadically reports job errors
 	}
-	dev := chamrt.NewDevice(2, 300*time.Microsecond, faults)
+	dev := chamrt.NewDevice(*engines, 300*time.Microsecond, faults)
 	rt, err := chamrt.New(dev)
 	if err != nil {
 		log.Fatal(err)

@@ -146,3 +146,40 @@ func TestGenerateValidation(t *testing.T) {
 		t.Error("zero-column matrix accepted")
 	}
 }
+
+// TestPreparedLayerTriples: GenerateWith on a prepared layer must yield
+// valid triples, many in a row, matching the Generate contract.
+func TestPreparedLayerTriples(t *testing.T) {
+	p, _ := bfv.NewChamParams(64)
+	rng := rand.New(rand.NewSource(6))
+	sk := p.KeyGen(rng)
+	g, _ := NewGenerator(p, rng, sk, 64)
+
+	m, n := 24, 100 // non-power-of-two rows, multi-chunk columns
+	w := make([][]uint64, m)
+	for i := range w {
+		w[i] = make([]uint64, n)
+		for j := range w[i] {
+			w[i][j] = rng.Uint64() % p.T.Q
+		}
+	}
+	pl, err := g.PrepareLayer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		cs, ss, err := g.GenerateWith(rng, sk, pl)
+		if err != nil {
+			t.Fatalf("triple %d: %v", k, err)
+		}
+		if err := Verify(p, w, cs, ss); err != nil {
+			t.Fatalf("triple %d: %v", k, err)
+		}
+	}
+	if _, err := g.PrepareLayer(nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := g.PrepareLayer([][]uint64{{}}); err == nil {
+		t.Error("zero-column matrix accepted")
+	}
+}

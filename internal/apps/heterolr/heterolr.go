@@ -117,13 +117,19 @@ func (tr *Trainer) Train(d *Dataset) (*Model, error) {
 		WA: make([]float64, d.FeaturesA()),
 		WB: make([]float64, d.FeaturesB()),
 	}
+	// The stacked feature matrix of each mini-batch is epoch-invariant, so
+	// its evaluation-ready form (encode + lift + NTT of every gradient row)
+	// is prepared once on first use and reused by every later epoch.
+	cache := &prepCache{}
+	cache.prep[0] = map[int]*core.PreparedMatrix{}
+	cache.prep[1] = map[int]*core.PreparedMatrix{}
 	for epoch := 0; epoch < tr.Epochs; epoch++ {
 		for base := 0; base < d.Samples(); base += batch {
 			end := base + batch
 			if end > d.Samples() {
 				end = d.Samples()
 			}
-			if err := tr.step(d, m, base, end); err != nil {
+			if err := tr.step(d, m, base, end, cache); err != nil {
 				return nil, err
 			}
 		}
@@ -132,17 +138,19 @@ func (tr *Trainer) Train(d *Dataset) (*Model, error) {
 	return m, nil
 }
 
+// prepCache holds the prepared per-batch feature matrices, keyed by batch
+// base sample, one map per residue channel. Scoped to a single Train call
+// (the dataset and batch boundaries must not change under it).
+type prepCache struct {
+	prep [2]map[int]*core.PreparedMatrix
+}
+
 // step runs one gradient update over samples [base, end).
-func (tr *Trainer) step(d *Dataset, m *Model, base, end int) error {
+func (tr *Trainer) step(d *Dataset, m *Model, base, end int, cache *prepCache) error {
 	quarter := uint64(1) << (tr.Codec.F - 2) // 1/4 at scale F
 	xa := d.XA[base:end]
 	xb := d.XB[base:end]
 	y := d.Y[base:end]
-
-	// Quantized feature matrices for this batch, transposed: gradient
-	// rows = features (the matrix-tiling boundary).
-	xaT := quantizeTranspose(tr.Codec, xa)
-	xbT := quantizeTranspose(tr.Codec, xb)
 
 	// Step 1: local logit shares (clear), quantized at scale F.
 	uA := matVecFloat(xa, m.WA)
@@ -157,6 +165,11 @@ func (tr *Trainer) step(d *Dataset, m *Model, base, end int) error {
 		masks[i] = int64(tr.rng.Uint64() % (1 << 40))
 	}
 
+	// Quantized feature matrices for this batch, transposed (gradient rows
+	// = features, the matrix-tiling boundary) — only materialized when the
+	// batch is not yet in the prepared cache.
+	var xaT, xbT [2][][]uint64
+
 	var gInt [2][]uint64 // per channel, packed gradient residues
 	for ci, ch := range tr.channels() {
 		// Step 2: A encrypts its quantized logits.
@@ -169,10 +182,24 @@ func (tr *Trainer) step(d *Dataset, m *Model, base, end int) error {
 		// Step 3: B assembles the residual homomorphically.
 		ctD := tr.assembleResidual(ch, ctU, uB, y, quarter)
 
-		// Step 4: gradient blocks for both parties, one packed HMVP
-		// over the stacked feature rows.
-		stacked := append(append([][]uint64{}, xaT[ci]...), xbT[ci]...)
-		res, err := ch.ev.MatVec(stacked, ctD)
+		// Step 4: gradient blocks for both parties, one packed HMVP over
+		// the stacked feature rows, prepared once per batch and reused
+		// across epochs.
+		pm := cache.prep[ci][base]
+		if pm == nil {
+			if xaT[ci] == nil {
+				xaT = quantizeTranspose(tr.Codec, xa)
+				xbT = quantizeTranspose(tr.Codec, xb)
+			}
+			stacked := append(append([][]uint64{}, xaT[ci]...), xbT[ci]...)
+			var err error
+			pm, err = ch.ev.Prepare(stacked)
+			if err != nil {
+				return err
+			}
+			cache.prep[ci][base] = pm
+		}
+		res, err := pm.Apply(ctD)
 		if err != nil {
 			return err
 		}

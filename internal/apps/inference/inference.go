@@ -82,18 +82,43 @@ type Preprocessed struct {
 
 // Preprocess runs the offline phase: one CHAM HMVP per linear layer.
 func (nw *Network) Preprocess(gen *beaver.Generator, rng *rand.Rand, sk *rlwe.SecretKey) (*Preprocessed, error) {
-	pre := &Preprocessed{}
+	pres, err := nw.PreprocessBatch(gen, rng, sk, 1)
+	if err != nil {
+		return nil, err
+	}
+	return pres[0], nil
+}
+
+// PreprocessBatch produces count independent triple sets (one inference
+// each) over the same network. Each layer matrix is prepared exactly once
+// — encode, lift, and forward NTT of every row — and reused for all count
+// triples, so the per-matrix cost is amortized across the batch. This is
+// the bulk preprocessing workload CHAM targets.
+func (nw *Network) PreprocessBatch(gen *beaver.Generator, rng *rand.Rand, sk *rlwe.SecretKey, count int) ([]*Preprocessed, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("inference: batch count must be positive")
+	}
+	pres := make([]*Preprocessed, count)
+	for k := range pres {
+		pres[k] = &Preprocessed{}
+	}
 	for l := range nw.Weights {
 		w := nw.quantizeMatrix(l)
-		cs, ss, err := gen.Generate(rng, sk, w)
+		pl, err := gen.PrepareLayer(w)
 		if err != nil {
 			return nil, fmt.Errorf("inference: layer %d: %w", l, err)
 		}
-		pre.Client = append(pre.Client, cs)
-		pre.Server = append(pre.Server, ss)
-		pre.weights = append(pre.weights, w)
+		for k, pre := range pres {
+			cs, ss, err := gen.GenerateWith(rng, sk, pl)
+			if err != nil {
+				return nil, fmt.Errorf("inference: layer %d, triple %d: %w", l, k, err)
+			}
+			pre.Client = append(pre.Client, cs)
+			pre.Server = append(pre.Server, ss)
+			pre.weights = append(pre.weights, w)
+		}
 	}
-	return pre, nil
+	return pres, nil
 }
 
 // Infer runs the online phase on one input vector (floats). No

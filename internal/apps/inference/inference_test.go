@@ -172,3 +172,33 @@ func TestNetworkValidation(t *testing.T) {
 		t.Error("wrong input length accepted")
 	}
 }
+
+// TestPreprocessBatch: each triple set of a batch must drive a correct
+// inference, and all sets share the prepared layer matrices.
+func TestPreprocessBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nw, _, sk, gen := testNetwork(t, rng, []int{6, 8, 3})
+	pres, err := nw.PreprocessBatch(gen, rng, sk, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres) != 3 {
+		t.Fatalf("got %d triple sets, want 3", len(pres))
+	}
+	x := randInput(rng, 6)
+	want := nw.InferPlain(x)
+	for k, pre := range pres {
+		got, err := nw.Infer(pre, x)
+		if err != nil {
+			t.Fatalf("set %d: %v", k, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("set %d output %d: %v vs %v", k, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := nw.PreprocessBatch(gen, rng, sk, 0); err == nil {
+		t.Error("zero batch accepted")
+	}
+}

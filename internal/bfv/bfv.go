@@ -105,6 +105,10 @@ func (p Params) NewPlaintext() *Plaintext {
 // that values near t wrap to small negatives.
 func (p Params) Lift(pt *Plaintext, levels int) *ring.Poly {
 	out := p.R.NewPoly(levels)
+	if len(pt.Coeffs) == p.R.N {
+		p.LiftInto(out, pt)
+		return out
+	}
 	vals := make([]int64, len(pt.Coeffs))
 	for i, c := range pt.Coeffs {
 		vals[i] = p.T.CenterLift(c)

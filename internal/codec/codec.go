@@ -205,6 +205,9 @@ func DecodeSwitchingKey(r *ring.Ring, buf []byte) (*rlwe.SwitchingKey, error) {
 		k.Bs = append(k.Bs, b)
 		k.As = append(k.As, a)
 	}
+	// Rebuild the Shoup companion tables, which are derived data and not
+	// part of the wire format.
+	k.Precompute(r)
 	return k, nil
 }
 

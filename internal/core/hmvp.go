@@ -17,12 +17,10 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"cham/internal/bfv"
 	"cham/internal/lwe"
-	"cham/internal/ring"
 	"cham/internal/rlwe"
 )
 
@@ -30,10 +28,20 @@ import (
 type Evaluator struct {
 	P    bfv.Params
 	Keys *lwe.PackingKeys
-	// Workers bounds the goroutines used for the per-row dot products
-	// (rows are independent until packing). Defaults to GOMAXPROCS;
-	// set 1 for strictly serial evaluation.
+	// Workers bounds the goroutines used for the per-row dot products and
+	// the independent merges of each packing-tree level (rows and merges
+	// are independent; results are bit-identical for any worker count).
+	// Defaults to GOMAXPROCS; set 1 for strictly serial, goroutine-free
+	// evaluation.
 	Workers int
+
+	// Pooled scratch and cached constants for the allocation-free hot
+	// path (see prepared.go). An Evaluator must not be copied.
+	applyPool sync.Pool // *applyScratch
+	rowPool   sync.Pool // *rowScratch
+	invOnce   sync.Once
+	invN      []uint64 // per-limb N^-1
+	invNShoup []uint64
 }
 
 // NewEvaluator returns an evaluator whose packing keys cover tiles of up to
@@ -115,6 +123,10 @@ func (res *Result) TileRows(i int) int {
 // MatVec computes A·v where A is an m×n cleartext matrix (row-major, all
 // values reduced mod t) and ctV the encryption of v produced by
 // EncryptVector. n must equal the plaintext vector length used there.
+//
+// MatVec shares the pooled per-vector machinery with PreparedMatrix but
+// encodes and forward-transforms each row on the fly; when the same matrix
+// multiplies several vectors, Prepare once and Apply instead.
 func (e *Evaluator) MatVec(A [][]uint64, ctV []*rlwe.Ciphertext) (*Result, error) {
 	p := e.P
 	n := p.R.N
@@ -135,18 +147,7 @@ func (e *Evaluator) MatVec(A [][]uint64, ctV []*rlwe.Ciphertext) (*Result, error
 			return nil, fmt.Errorf("core: ragged matrix row %d", i)
 		}
 	}
-
-	// Transform the vector ciphertexts once (the pipeline's one-time
-	// stage-1 work); every row then only transforms its plaintext.
-	ctVNTT := make([]*rlwe.Ciphertext, len(ctV))
-	for c, ct := range ctV {
-		cp := ct.Copy()
-		p.R.NTT(cp.B)
-		p.R.NTT(cp.A)
-		ctVNTT[c] = cp
-	}
-
-	res := &Result{M: m, N: n}
+	maxPad := 0
 	for base := 0; base < m; base += n {
 		rows := m - base
 		if rows > n {
@@ -156,86 +157,32 @@ func (e *Evaluator) MatVec(A [][]uint64, ctV []*rlwe.Ciphertext) (*Result, error
 		if mPad > e.Keys.M {
 			return nil, fmt.Errorf("core: tile of %d rows exceeds packing keys (max %d)", mPad, e.Keys.M)
 		}
-		scale := p.InvPow2(bits.TrailingZeros(uint(mPad)))
+		if mPad > maxPad {
+			maxPad = mPad
+		}
+	}
 
-		lwes := make([]*lwe.Ciphertext, mPad)
-		workers := e.Workers
-		if workers < 1 {
-			workers = runtime.GOMAXPROCS(0)
+	e.ensureInvN()
+	sc := e.getApplyScratch(chunks, maxPad)
+	defer e.putApplyScratch(sc)
+	if err := e.loadVector(sc, ctV); err != nil {
+		return nil, err
+	}
+	res := &Result{M: m, N: n}
+	for base := 0; base < m; base += n {
+		rows := m - base
+		if rows > n {
+			rows = n
 		}
-		if workers > rows {
-			workers = rows
-		}
-		var wg sync.WaitGroup
-		next := make(chan int, rows)
-		for i := 0; i < rows; i++ {
-			next <- base + i
-		}
-		close(next)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					acc := e.rowDotProduct(A[i], ctVNTT, scale)
-					lwes[i-base] = lwe.Extract(p, acc, 0)
-				}
-			}()
-		}
-		wg.Wait()
-		for i := rows; i < mPad; i++ {
-			lwes[i] = zeroLWE(p)
-		}
-		packed, err := lwe.PackLWEs(p, lwes, e.Keys)
-		if err != nil {
+		mPad := nextPow2(rows)
+		scale := p.InvPow2(bits.TrailingZeros(uint(mPad)))
+		out := &rlwe.Ciphertext{B: p.R.NewPoly(p.NormalLevels), A: p.R.NewPoly(p.NormalLevels)}
+		if err := e.tileApply(out, sc, nil, A[base:base+rows], scale, rows, mPad); err != nil {
 			return nil, err
 		}
-		res.Packed = append(res.Packed, packed)
+		res.Packed = append(res.Packed, out)
 	}
 	return res, nil
-}
-
-// rowDotProduct runs stages 1-4 for one matrix row against the
-// pre-transformed vector chunks: per chunk one plaintext forward
-// transform and a MULTPOLY, with the chunk aggregation done in the NTT
-// domain so the row pays a single inverse transform and RESCALE — the
-// paper's n ≥ m aggregation, at the pipeline model's exact transform
-// counts (FullLevels·chunks + 2·FullLevels per row).
-func (e *Evaluator) rowDotProduct(row []uint64, ctVNTT []*rlwe.Ciphertext, scale uint64) *rlwe.Ciphertext {
-	p := e.P
-	n := p.R.N
-	levels := p.R.Levels()
-	acc := &rlwe.Ciphertext{B: p.R.NewPoly(levels), A: p.R.NewPoly(levels)}
-	acc.B.IsNTT, acc.A.IsNTT = true, true
-	tmp := &rlwe.Ciphertext{B: p.R.NewPoly(levels), A: p.R.NewPoly(levels)}
-	for c := 0; c < len(ctVNTT); c++ {
-		lo := c * n
-		hi := lo + n
-		if hi > len(row) {
-			hi = len(row)
-		}
-		if lo >= hi {
-			break
-		}
-		ptPoly := p.Lift(p.EncodeRow(row[lo:hi], scale), levels)
-		p.R.NTT(ptPoly)
-		p.MulPlainNTT(tmp, ctVNTT[c], ptPoly)
-		p.Add(acc, acc, tmp)
-	}
-	p.R.INTT(acc.B)
-	p.R.INTT(acc.A)
-	return p.Rescale(acc)
-}
-
-// zeroLWE is a trivial (noise-free) LWE encryption of zero used to pad a
-// tile to a power-of-two row count.
-func zeroLWE(p bfv.Params) *lwe.Ciphertext {
-	lv := p.NormalLevels
-	ct := &lwe.Ciphertext{Beta: make([]uint64, lv), Alpha: make([][]uint64, lv)}
-	for l := 0; l < lv; l++ {
-		ct.Alpha[l] = make([]uint64, p.R.N)
-	}
-	return ct
 }
 
 // DecryptResult reads the m result values out of the packed ciphertexts.
@@ -270,87 +217,30 @@ func PlainMatVec(p bfv.Params, A [][]uint64, v []uint64) []uint64 {
 
 // MatVecMulti computes A·v_k for many vectors sharing one matrix — the
 // batched-inference pattern the paper's introduction motivates (many
-// encrypted inputs amortize the per-matrix work). Each matrix row's
-// encoded plaintext is forward-transformed once and reused across all
-// vectors. vecs[k] must each come from EncryptVector with the same column
-// count.
+// encrypted inputs amortize the per-matrix work). It is Prepare followed
+// by one Apply per vector; matrices of any shape MatVec accepts work,
+// including multi-tile (m > N). vecs[k] must each come from EncryptVector
+// with the same column count.
 func (e *Evaluator) MatVecMulti(A [][]uint64, vecs [][]*rlwe.Ciphertext) ([]*Result, error) {
 	if len(vecs) == 0 {
 		return nil, fmt.Errorf("core: no vectors")
 	}
-	p := e.P
-	n := p.R.N
-	m := len(A)
-	if m == 0 || len(A[0]) == 0 {
-		return nil, fmt.Errorf("core: empty matrix")
+	pm, err := e.Prepare(A)
+	if err != nil {
+		return nil, err
 	}
-	cols := len(A[0])
-	chunks := (cols + n - 1) / n
 	for k, v := range vecs {
-		if len(v) != chunks {
-			return nil, fmt.Errorf("core: vector %d has %d chunks, want %d", k, len(v), chunks)
+		if len(v) != pm.chunks {
+			return nil, fmt.Errorf("core: vector %d has %d chunks, want %d", k, len(v), pm.chunks)
 		}
 	}
-	if m > n {
-		// Keep the amortized path simple: single-tile matrices only;
-		// larger matrices go through repeated MatVec calls.
-		return nil, fmt.Errorf("core: MatVecMulti supports up to %d rows (got %d)", n, m)
-	}
-	mPad := nextPow2(m)
-	if mPad > e.Keys.M {
-		return nil, fmt.Errorf("core: tile of %d rows exceeds packing keys (max %d)", mPad, e.Keys.M)
-	}
-	scale := p.InvPow2(bits.TrailingZeros(uint(mPad)))
-	levels := p.R.Levels()
-
-	// One-time per matrix: encode + NTT every row chunk.
-	rowNTT := make([][]*ring.Poly, m)
-	for i := range A {
-		if len(A[i]) != cols {
-			return nil, fmt.Errorf("core: ragged matrix row %d", i)
-		}
-		rowNTT[i] = make([]*ring.Poly, chunks)
-		for c := 0; c < chunks; c++ {
-			lo, hi := c*n, (c+1)*n
-			if hi > cols {
-				hi = cols
-			}
-			pt := p.Lift(p.EncodeRow(A[i][lo:hi], scale), levels)
-			p.R.NTT(pt)
-			rowNTT[i][c] = pt
-		}
-	}
-
 	out := make([]*Result, len(vecs))
 	for k, ctV := range vecs {
-		ctVNTT := make([]*rlwe.Ciphertext, chunks)
-		for c, ct := range ctV {
-			cp := ct.Copy()
-			p.R.NTT(cp.B)
-			p.R.NTT(cp.A)
-			ctVNTT[c] = cp
-		}
-		lwes := make([]*lwe.Ciphertext, mPad)
-		tmp := &rlwe.Ciphertext{B: p.R.NewPoly(levels), A: p.R.NewPoly(levels)}
-		for i := 0; i < m; i++ {
-			acc := &rlwe.Ciphertext{B: p.R.NewPoly(levels), A: p.R.NewPoly(levels)}
-			acc.B.IsNTT, acc.A.IsNTT = true, true
-			for c := 0; c < chunks; c++ {
-				p.MulPlainNTT(tmp, ctVNTT[c], rowNTT[i][c])
-				p.Add(acc, acc, tmp)
-			}
-			p.R.INTT(acc.B)
-			p.R.INTT(acc.A)
-			lwes[i] = lwe.Extract(p, p.Rescale(acc), 0)
-		}
-		for i := m; i < mPad; i++ {
-			lwes[i] = zeroLWE(p)
-		}
-		packed, err := lwe.PackLWEs(p, lwes, e.Keys)
+		res, err := pm.Apply(ctV)
 		if err != nil {
 			return nil, err
 		}
-		out[k] = &Result{Packed: []*rlwe.Ciphertext{packed}, M: m, N: n}
+		out[k] = res
 	}
 	return out, nil
 }

@@ -1,0 +1,433 @@
+package core
+
+// Prepared-matrix HMVP: the per-matrix half of the pipeline (row encode,
+// centred lift, forward NTT, Shoup companion tables) is hoisted out of the
+// per-vector path, mirroring how CHAM keeps operands resident instead of
+// re-streaming them. A PreparedMatrix is built once with Prepare and then
+// applied to any number of encrypted vectors; ApplyInto reuses pooled
+// scratch end to end, so a warm apply performs zero heap allocations.
+//
+// Per row, the dot product fuses stage 4's EXTRACTLWES into the inverse
+// transform: extraction at index 0 only needs the constant coefficient of
+// INTT(acc.B), which is N^{-1}·Σ_j â_j per limb (SumRow), so the B part
+// skips its full inverse transforms and polynomial RESCALE entirely.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cham/internal/bfv"
+	"cham/internal/lwe"
+	"cham/internal/ring"
+	"cham/internal/rlwe"
+)
+
+// preparedTile holds one row tile in evaluation-ready form: every row chunk
+// encoded, lifted to the full basis, forward-transformed, with the tile's
+// packing scale 2^-ℓ already folded in, plus Shoup companion tables so the
+// per-vector MULTPOLY runs at MulShoup speed.
+type preparedTile struct {
+	rows, mPad int
+	rowNTT     [][]*ring.Poly // [row][chunk], NTT domain, full basis
+	rowShoup   [][][][]uint64 // [row][chunk] = ShoupPrecompPoly(rowNTT)
+}
+
+// PreparedMatrix is a cleartext matrix fixed in evaluation-ready form.
+// Build with Evaluator.Prepare, apply with Apply / ApplyInto.
+type PreparedMatrix struct {
+	ev      *Evaluator
+	m, cols int
+	chunks  int // column chunks = ⌈cols/N⌉
+	maxPad  int // largest padded tile row count
+	tiles   []*preparedTile
+}
+
+// Rows returns the matrix row count m.
+func (pm *PreparedMatrix) Rows() int { return pm.m }
+
+// Cols returns the matrix column count n.
+func (pm *PreparedMatrix) Cols() int { return pm.cols }
+
+// Chunks returns the number of vector ciphertexts an apply expects.
+func (pm *PreparedMatrix) Chunks() int { return pm.chunks }
+
+// Tiles returns the number of packed output ciphertexts per apply.
+func (pm *PreparedMatrix) Tiles() int { return len(pm.tiles) }
+
+// Prepare encodes, lifts, and forward-transforms all rows of A once
+// (the one-time stages 1–2 work of every future apply). The same shape
+// rules as MatVec apply.
+func (e *Evaluator) Prepare(A [][]uint64) (*PreparedMatrix, error) {
+	p := e.P
+	n := p.R.N
+	m := len(A)
+	if m == 0 {
+		return nil, fmt.Errorf("core: empty matrix")
+	}
+	cols := len(A[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("core: matrix has no columns")
+	}
+	for i := range A {
+		if len(A[i]) != cols {
+			return nil, fmt.Errorf("core: ragged matrix row %d", i)
+		}
+	}
+	chunks := (cols + n - 1) / n
+	pm := &PreparedMatrix{ev: e, m: m, cols: cols, chunks: chunks}
+	// Validate every tile before the expensive transforms start.
+	for base := 0; base < m; base += n {
+		rows := m - base
+		if rows > n {
+			rows = n
+		}
+		mPad := nextPow2(rows)
+		if mPad > e.Keys.M {
+			return nil, fmt.Errorf("core: tile of %d rows exceeds packing keys (max %d)", mPad, e.Keys.M)
+		}
+		if mPad > pm.maxPad {
+			pm.maxPad = mPad
+		}
+	}
+	full := p.R.Levels()
+	for base := 0; base < m; base += n {
+		rows := m - base
+		if rows > n {
+			rows = n
+		}
+		mPad := nextPow2(rows)
+		scale := p.InvPow2(log2(mPad))
+		t := &preparedTile{
+			rows:     rows,
+			mPad:     mPad,
+			rowNTT:   make([][]*ring.Poly, rows),
+			rowShoup: make([][][][]uint64, rows),
+		}
+		for i := 0; i < rows; i++ {
+			rp := make([]*ring.Poly, chunks)
+			rs := make([][][]uint64, chunks)
+			for c := 0; c < chunks; c++ {
+				lo, hi := c*n, (c+1)*n
+				if hi > cols {
+					hi = cols
+				}
+				pt := p.Lift(p.EncodeRow(A[base+i][lo:hi], scale), full)
+				p.R.NTT(pt)
+				rp[c] = pt
+				rs[c] = p.R.ShoupPrecompPoly(pt)
+			}
+			t.rowNTT[i] = rp
+			t.rowShoup[i] = rs
+		}
+		pm.tiles = append(pm.tiles, t)
+	}
+	return pm, nil
+}
+
+// NewResult allocates a result of the right shape for ApplyInto.
+func (pm *PreparedMatrix) NewResult() *Result {
+	p := pm.ev.P
+	res := &Result{M: pm.m, N: p.R.N, Packed: make([]*rlwe.Ciphertext, len(pm.tiles))}
+	for i := range res.Packed {
+		res.Packed[i] = &rlwe.Ciphertext{B: p.R.NewPoly(p.NormalLevels), A: p.R.NewPoly(p.NormalLevels)}
+	}
+	return res
+}
+
+// Apply computes A·v for one encrypted vector (the per-vector stages of the
+// pipeline only), allocating a fresh Result.
+func (pm *PreparedMatrix) Apply(ctV []*rlwe.Ciphertext) (*Result, error) {
+	res := pm.NewResult()
+	if err := pm.ApplyInto(res, ctV); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ApplyInto is Apply writing into a caller-owned Result (from NewResult).
+// All intermediates come from pooled scratch: a warm call does not touch
+// the heap.
+func (pm *PreparedMatrix) ApplyInto(res *Result, ctV []*rlwe.Ciphertext) error {
+	e := pm.ev
+	if len(ctV) != pm.chunks {
+		return fmt.Errorf("core: matrix has %d column chunks but vector has %d ciphertexts", pm.chunks, len(ctV))
+	}
+	if len(res.Packed) != len(pm.tiles) {
+		return fmt.Errorf("core: result holds %d tiles, want %d", len(res.Packed), len(pm.tiles))
+	}
+	e.ensureInvN()
+	sc := e.getApplyScratch(pm.chunks, pm.maxPad)
+	defer e.putApplyScratch(sc)
+	if err := e.loadVector(sc, ctV); err != nil {
+		return err
+	}
+	for ti, t := range pm.tiles {
+		if err := e.tileApply(res.Packed[ti], sc, t, nil, 0, t.rows, t.mPad); err != nil {
+			return err
+		}
+	}
+	res.M, res.N = pm.m, e.P.R.N
+	return nil
+}
+
+// --- shared per-vector machinery (used by both ApplyInto and MatVec) ---
+
+// rowScratch is the per-worker arena for one row's stages 1–4.
+type rowScratch struct {
+	acc  *rlwe.Ciphertext // full-basis NTT-domain accumulator
+	pt   *bfv.Plaintext   // on-the-fly row encoding (MatVec path)
+	lift *ring.Poly       // on-the-fly lifted row (MatVec path)
+	beta []uint64         // per-limb constant coefficient of acc.B
+}
+
+func (e *Evaluator) getRowScratch() *rowScratch {
+	if rs, ok := e.rowPool.Get().(*rowScratch); ok {
+		return rs
+	}
+	r := e.P.R
+	full := r.Levels()
+	return &rowScratch{
+		acc:  &rlwe.Ciphertext{B: r.NewPoly(full), A: r.NewPoly(full)},
+		pt:   e.P.NewPlaintext(),
+		lift: r.NewPoly(full),
+		beta: make([]uint64, full),
+	}
+}
+
+func (e *Evaluator) putRowScratch(rs *rowScratch) { e.rowPool.Put(rs) }
+
+// applyScratch holds the per-call buffers shared across rows: the
+// NTT-domain vector chunks and the packing-tree ciphertexts.
+type applyScratch struct {
+	vNTT []*rlwe.Ciphertext // full basis, NTT domain
+	tree []*rlwe.Ciphertext // normal basis; consumed by PackRLWEs
+}
+
+func (e *Evaluator) getApplyScratch(chunks, mPad int) *applyScratch {
+	sc, ok := e.applyPool.Get().(*applyScratch)
+	if !ok {
+		sc = &applyScratch{}
+	}
+	r := e.P.R
+	full := r.Levels()
+	// vNTT's length doubles as the chunk count downstream, so reslice to
+	// exactly chunks, reusing buffers parked in the spare capacity.
+	if cap(sc.vNTT) > len(sc.vNTT) {
+		sc.vNTT = sc.vNTT[:cap(sc.vNTT)]
+	}
+	for len(sc.vNTT) < chunks {
+		sc.vNTT = append(sc.vNTT, &rlwe.Ciphertext{B: r.NewPoly(full), A: r.NewPoly(full)})
+	}
+	for i := range sc.vNTT {
+		if sc.vNTT[i] == nil {
+			sc.vNTT[i] = &rlwe.Ciphertext{B: r.NewPoly(full), A: r.NewPoly(full)}
+		}
+	}
+	sc.vNTT = sc.vNTT[:chunks]
+	for len(sc.tree) < mPad {
+		sc.tree = append(sc.tree, &rlwe.Ciphertext{B: r.NewPoly(e.P.NormalLevels), A: r.NewPoly(e.P.NormalLevels)})
+	}
+	return sc
+}
+
+func (e *Evaluator) putApplyScratch(sc *applyScratch) { e.applyPool.Put(sc) }
+
+// ensureInvN caches N^{-1} per limb (with Shoup companions), the constant
+// the fused B-extraction multiplies its limb sums by.
+func (e *Evaluator) ensureInvN() {
+	e.invOnce.Do(func() {
+		r := e.P.R
+		full := r.Levels()
+		e.invN = make([]uint64, full)
+		e.invNShoup = make([]uint64, full)
+		for l := 0; l < full; l++ {
+			m := r.Moduli[l]
+			inv := m.Inv(m.Reduce(uint64(r.N)))
+			e.invN[l] = inv
+			e.invNShoup[l] = m.ShoupPrecomp(inv)
+		}
+	})
+}
+
+// effWorkers resolves the Workers knob against the available work items.
+func (e *Evaluator) effWorkers(items int) int {
+	w := e.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// loadVector copies the vector ciphertexts into scratch and forward-
+// transforms them once — the pipeline's shared stage-1 work.
+func (e *Evaluator) loadVector(sc *applyScratch, ctV []*rlwe.Ciphertext) error {
+	r := e.P.R
+	for c, ct := range ctV {
+		if ct.Levels() != r.Levels() {
+			return fmt.Errorf("core: vector ciphertext %d must carry the augmented basis", c)
+		}
+		v := sc.vNTT[c]
+		v.CopyFrom(ct)
+		if !v.B.IsNTT {
+			r.NTT(v.B)
+		}
+		if !v.A.IsNTT {
+			r.NTT(v.A)
+		}
+	}
+	return nil
+}
+
+// rowApplyInto runs stages 1–4 for one matrix row against the transformed
+// vector chunks and writes the extracted slot ciphertext (normal basis,
+// coefficient domain, plaintext at the constant coefficient) into dst.
+// Rows come either prepared (polys/shoup non-nil) or raw (row/scale), in
+// which case the encode+lift+NTT happens on the fly in rs.
+func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, polys []*ring.Poly, shoup [][][]uint64, row []uint64, scale uint64, rs *rowScratch) {
+	p := e.P
+	r := p.R
+	full := r.Levels()
+	acc := rs.acc
+	acc.B.IsNTT, acc.A.IsNTT = true, true
+	for c := 0; c < len(vNTT); c++ {
+		pt := rs.lift
+		var sh [][]uint64
+		if polys != nil {
+			pt, sh = polys[c], shoup[c]
+		} else {
+			lo, hi := c*r.N, (c+1)*r.N
+			if hi > len(row) {
+				hi = len(row)
+			}
+			p.EncodeRowInto(rs.pt, row[lo:hi], scale)
+			p.LiftInto(pt, rs.pt)
+			r.NTT(pt)
+		}
+		switch {
+		case c == 0 && sh != nil:
+			r.MulCoeffShoup(acc.B, vNTT[c].B, pt, sh)
+			r.MulCoeffShoup(acc.A, vNTT[c].A, pt, sh)
+		case c == 0:
+			r.MulCoeff(acc.B, vNTT[c].B, pt)
+			r.MulCoeff(acc.A, vNTT[c].A, pt)
+		case sh != nil:
+			r.MulCoeffShoupAdd(acc.B, vNTT[c].B, pt, sh)
+			r.MulCoeffShoupAdd(acc.A, vNTT[c].A, pt, sh)
+		default:
+			r.MulCoeffAdd(acc.B, vNTT[c].B, pt)
+			r.MulCoeffAdd(acc.A, vNTT[c].A, pt)
+		}
+	}
+	// B: EXTRACT at index 0 keeps only the constant coefficient of the
+	// inverse transform, which is N^{-1}·Σ_j â_j per limb — sum each limb
+	// and RESCALE the scalar instead of inverse-transforming the polynomial.
+	for l := 0; l < full; l++ {
+		rs.beta[l] = r.Moduli[l].MulShoup(r.SumRow(acc.B, l), e.invN[l], e.invNShoup[l])
+	}
+	for lv := full; lv > p.NormalLevels; lv-- {
+		r.ModDownScalar(rs.beta, lv)
+	}
+	// A: full inverse transform, then the RESCALE chain into dst.A.
+	r.INTT(acc.A)
+	a := acc.A
+	for a.Levels() > p.NormalLevels+1 {
+		na := r.GetPoly(a.Levels() - 1)
+		r.ModDownInto(na, a)
+		if a != acc.A {
+			r.PutPoly(a)
+		}
+		a = na
+	}
+	r.ModDownInto(dst.A, a)
+	if a != acc.A {
+		r.PutPoly(a)
+	}
+	for l := 0; l < p.NormalLevels; l++ {
+		rb := dst.B.Coeffs[l]
+		for i := range rb {
+			rb[i] = 0
+		}
+		rb[0] = rs.beta[l]
+	}
+	dst.B.IsNTT = false
+}
+
+// tileApply runs stages 1–9 for one row tile into out (normal basis): the
+// per-row dot products fan out across the worker pool, padding rows are
+// zeroed, and the packing tree folds the scratch buffers down to one
+// ciphertext. Rows come either from the prepared tile or from raw+scale.
+func (e *Evaluator) tileApply(out *rlwe.Ciphertext, sc *applyScratch, tile *preparedTile, raw [][]uint64, scale uint64, rows, mPad int) error {
+	workers := e.effWorkers(rows)
+	if workers > 1 {
+		e.tileRowsParallel(sc, tile, raw, scale, rows, workers)
+	} else {
+		rs := e.getRowScratch()
+		for i := 0; i < rows; i++ {
+			e.tileRow(sc, tile, raw, scale, i, rs)
+		}
+		e.putRowScratch(rs)
+	}
+	for i := rows; i < mPad; i++ {
+		sc.tree[i].B.Zero()
+		sc.tree[i].A.Zero()
+		sc.tree[i].B.IsNTT = false
+		sc.tree[i].A.IsNTT = false
+	}
+	packed, err := lwe.PackRLWEs(e.P, sc.tree[:mPad], e.Keys, workers)
+	if err != nil {
+		return err
+	}
+	out.CopyFrom(packed)
+	return nil
+}
+
+// tileRow computes one row's dot product into its tree slot, from either
+// the prepared tile or the raw matrix row.
+func (e *Evaluator) tileRow(sc *applyScratch, tile *preparedTile, raw [][]uint64, scale uint64, i int, rs *rowScratch) {
+	if tile != nil {
+		e.rowApplyInto(sc.tree[i], sc.vNTT, tile.rowNTT[i], tile.rowShoup[i], nil, 0, rs)
+	} else {
+		e.rowApplyInto(sc.tree[i], sc.vNTT, nil, nil, raw[i], scale, rs)
+	}
+}
+
+// tileRowsParallel fans the tile's rows across workers goroutines, each
+// with its own pooled row scratch. Kept out of tileApply so the goroutine
+// closure doesn't heap-allocate captures on the serial path.
+func (e *Evaluator) tileRowsParallel(sc *applyScratch, tile *preparedTile, raw [][]uint64, scale uint64, rows, workers int) {
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			rs := e.getRowScratch()
+			defer e.putRowScratch(rs)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= rows {
+					return
+				}
+				e.tileRow(sc, tile, raw, scale, i, rs)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// log2 of a power of two.
+func log2(x int) int {
+	n := 0
+	for 1<<uint(n) < x {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"cham/internal/rlwe"
+)
+
+// ctEqual compares two ciphertexts coefficient for coefficient.
+func ctEqual(a, b *rlwe.Ciphertext) bool {
+	if a.Levels() != b.Levels() || a.IsNTT() != b.IsNTT() {
+		return false
+	}
+	for l := 0; l < a.Levels(); l++ {
+		for j := range a.B.Coeffs[l] {
+			if a.B.Coeffs[l][j] != b.B.Coeffs[l][j] || a.A.Coeffs[l][j] != b.A.Coeffs[l][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMatVecWorkerDeterminism: worker count is a performance knob only —
+// the packed ciphertexts must be bit-identical between strictly serial
+// evaluation and full parallelism.
+func TestMatVecWorkerDeterminism(t *testing.T) {
+	p := testParams(t, 64)
+	rng := rand.New(rand.NewSource(11))
+	sk := p.KeyGen(rng)
+	ev, err := NewEvaluator(p, rng, sk, p.R.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct{ m, n int }{
+		{8, 64}, {13, 100}, {70, 64}, // padded, multi-chunk, multi-tile
+	}
+	for _, s := range shapes {
+		A := randomMatrix(rng, s.m, s.n, p.T.Q)
+		v := randomVector(rng, s.n, p.T.Q)
+		ctV := EncryptVector(p, rng, sk, v)
+
+		ev.Workers = 1
+		serial, err := ev.MatVec(A, ctV)
+		if err != nil {
+			t.Fatalf("%dx%d serial: %v", s.m, s.n, err)
+		}
+		ev.Workers = runtime.GOMAXPROCS(0) + 3 // oversubscribe deliberately
+		parallel, err := ev.MatVec(A, ctV)
+		if err != nil {
+			t.Fatalf("%dx%d parallel: %v", s.m, s.n, err)
+		}
+		if len(serial.Packed) != len(parallel.Packed) {
+			t.Fatalf("%dx%d: tile count differs", s.m, s.n)
+		}
+		for ti := range serial.Packed {
+			if !ctEqual(serial.Packed[ti], parallel.Packed[ti]) {
+				t.Errorf("%dx%d tile %d: serial and parallel ciphertexts differ", s.m, s.n, ti)
+			}
+		}
+	}
+}
+
+// TestPreparedMatchesMatVec: Prepare+Apply must produce bit-identical
+// packed ciphertexts to per-call MatVec over random shapes, including
+// non-power-of-two row counts and multi-chunk column counts, and repeated
+// Apply calls (exercising the pooled scratch) must stay stable.
+func TestPreparedMatchesMatVec(t *testing.T) {
+	p := testParams(t, 32)
+	rng := rand.New(rand.NewSource(12))
+	sk := p.KeyGen(rng)
+	ev, err := NewEvaluator(p, rng, sk, p.R.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		m := 1 + rng.Intn(2*p.R.N) // up to two row tiles
+		n := 1 + rng.Intn(3*p.R.N) // up to three column chunks
+		A := randomMatrix(rng, m, n, p.T.Q)
+		v := randomVector(rng, n, p.T.Q)
+		ctV := EncryptVector(p, rng, sk, v)
+
+		ref, err := ev.MatVec(A, ctV)
+		if err != nil {
+			t.Fatalf("trial %d (%dx%d): %v", trial, m, n, err)
+		}
+		pm, err := ev.Prepare(A)
+		if err != nil {
+			t.Fatalf("trial %d (%dx%d): %v", trial, m, n, err)
+		}
+		if pm.Rows() != m || pm.Cols() != n {
+			t.Fatalf("trial %d: prepared shape %dx%d, want %dx%d", trial, pm.Rows(), pm.Cols(), m, n)
+		}
+		res := pm.NewResult()
+		for rep := 0; rep < 2; rep++ {
+			if err := pm.ApplyInto(res, ctV); err != nil {
+				t.Fatalf("trial %d rep %d: %v", trial, rep, err)
+			}
+			if len(res.Packed) != len(ref.Packed) {
+				t.Fatalf("trial %d: tile count differs", trial)
+			}
+			for ti := range ref.Packed {
+				if !ctEqual(ref.Packed[ti], res.Packed[ti]) {
+					t.Errorf("trial %d rep %d tile %d: prepared and direct ciphertexts differ",
+						trial, rep, ti)
+				}
+			}
+		}
+		want := PlainMatVec(p, A, v)
+		got := DecryptResult(p, res, sk)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d row %d: decrypted %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPreparedValidation: Apply-side error paths.
+func TestPreparedValidation(t *testing.T) {
+	p := testParams(t, 16)
+	rng := rand.New(rand.NewSource(13))
+	sk := p.KeyGen(rng)
+	ev, err := NewEvaluator(p, rng, sk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Prepare(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := ev.Prepare([][]uint64{{}}); err == nil {
+		t.Error("zero-column matrix accepted")
+	}
+	if _, err := ev.Prepare([][]uint64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := ev.Prepare(randomMatrix(rng, 8, 16, p.T.Q)); err == nil {
+		t.Error("tile beyond packing keys accepted")
+	}
+	pm, err := ev.Prepare(randomMatrix(rng, 4, 16, p.T.Q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctV := EncryptVector(p, rng, sk, randomVector(rng, 16, p.T.Q))
+	if _, err := pm.Apply(append(ctV, ctV...)); err == nil {
+		t.Error("chunk-count mismatch accepted")
+	}
+	// A ciphertext without the augmented basis must be rejected.
+	bad := []*rlwe.Ciphertext{p.Encrypt(rng, sk, p.NewPlaintext(), p.NormalLevels)}
+	if _, err := pm.Apply(bad); err == nil {
+		t.Error("normal-basis vector ciphertext accepted")
+	}
+}

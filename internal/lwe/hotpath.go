@@ -1,0 +1,129 @@
+package lwe
+
+// Allocation-free packing tree. The recursive PackLWEs of Alg. 3 is
+// re-expressed iteratively: after ℓ levels the live groups sit in the
+// buffer prefix, and level ℓ (group size i = 2^ℓ) merges the pairs
+// (buf[j], buf[j+count/2]) — exactly the even/odd split of the recursion,
+// verified term-for-term against packRec. The m/2 merges inside one level
+// are independent, so they fan out across a worker pool; merges consume
+// their inputs in place, so the whole tree runs in the caller's m buffers
+// plus one pooled temporary per worker.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cham/internal/bfv"
+	"cham/internal/rlwe"
+)
+
+// ExtractAsRLWEInto fuses Extract and AsRLWE, writing the result into a
+// caller-owned normal-basis ciphertext: out's plaintext holds coefficient
+// idx of ct's plaintext at its constant coefficient. The mask double
+// negation of the LWE round trip cancels, so out.A is just ct.A shifted by
+// X^-idx (a plain copy at idx 0) and out.B is zero except for
+// B_idx at its constant slot. Input must be in coefficient domain; out
+// must not alias ct.
+func ExtractAsRLWEInto(p bfv.Params, out, ct *rlwe.Ciphertext, idx int) {
+	if ct.IsNTT() {
+		panic("lwe: Extract requires coefficient domain")
+	}
+	n := p.R.N
+	if idx < 0 || idx >= n {
+		panic("lwe: coefficient index out of range")
+	}
+	if idx == 0 {
+		out.A.CopyFrom(ct.A)
+	} else {
+		p.R.MulMonomial(out.A, ct.A, -idx)
+	}
+	for l := range out.B.Coeffs {
+		row := out.B.Coeffs[l]
+		for i := range row {
+			row[i] = 0
+		}
+		// (X^-idx · b)_0 = b_idx: the only surviving B coefficient.
+		row[0] = ct.B.Coeffs[l][idx]
+	}
+	out.B.IsNTT = false
+}
+
+// PackTwoInto is PackTwoLWEs writing into a caller-owned ciphertext:
+// out = (ct_e + X^{N/2i}·ct_o) + φ_{2i+1}(ct_e - X^{N/2i}·ct_o).
+// ctE and ctO are consumed (overwritten as scratch); out may alias ctE but
+// not ctO. All temporaries are pooled.
+func PackTwoInto(p bfv.Params, out *rlwe.Ciphertext, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey) {
+	z := p.R.N / (2 * i)
+	p.MulMonomial(ctO, ctO, z) // ctO ← X^z·ctO, in place
+	minus := p.GetCiphertext(ctE.Levels())
+	p.Sub(minus, ctE, ctO)
+	p.Add(out, ctE, ctO)
+	p.AutomorphCtInto(minus, minus, 2*i+1, swk)
+	p.Add(out, out, minus)
+	p.PutCiphertext(minus)
+}
+
+// PackRLWEs packs m := len(cts) RLWE slot ciphertexts (the AsRLWE form of
+// LWE extractions, normal basis, coefficient domain) into cts[0], which is
+// returned. m must be a power of two covered by keys. The entries of cts
+// are consumed: every buffer is overwritten as tree scratch.
+//
+// Each tree level's independent merges run on min(workers, pairs)
+// goroutines; the merge for pair j touches only cts[j] and cts[j+half], so
+// the result is bit-identical for every worker count.
+func PackRLWEs(p bfv.Params, cts []*rlwe.Ciphertext, keys *PackingKeys, workers int) (*rlwe.Ciphertext, error) {
+	m := len(cts)
+	if m < 1 || m&(m-1) != 0 || m > p.R.N {
+		return nil, fmt.Errorf("lwe: cannot pack %d ciphertexts (need power of two in [1,N])", m)
+	}
+	if keys == nil && m > 1 {
+		return nil, fmt.Errorf("lwe: packing keys required for m=%d", m)
+	}
+	if m > 1 && keys.M < m {
+		return nil, fmt.Errorf("lwe: packing keys cover m=%d < %d", keys.M, m)
+	}
+	count := m
+	for i := 1; i < m; i <<= 1 {
+		half := count / 2
+		swk := keys.Keys[2*i+1]
+		if swk == nil {
+			return nil, fmt.Errorf("lwe: missing packing key for k=%d", 2*i+1)
+		}
+		if workers > 1 && half > 1 {
+			nw := workers
+			if nw > half {
+				nw = half
+			}
+			packLevelParallel(p, cts, i, half, swk, nw)
+		} else {
+			for j := 0; j < half; j++ {
+				PackTwoInto(p, cts[j], i, cts[j], cts[j+half], swk)
+			}
+		}
+		count = half
+	}
+	return cts[0], nil
+}
+
+// packLevelParallel fans one tree level's merges across nw goroutines. It
+// lives in its own function so the goroutine closure's captures don't
+// force the caller's loop variables onto the heap on the serial path.
+func packLevelParallel(p bfv.Params, cts []*rlwe.Ciphertext, i, half int, swk *rlwe.SwitchingKey, nw int) {
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(atomic.AddInt64(&next, 1)) - 1
+				if j >= half {
+					return
+				}
+				PackTwoInto(p, cts[j], i, cts[j], cts[j+half], swk)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -118,20 +118,15 @@ func GenPackingKeys(p bfv.Params, rng *rand.Rand, sk *rlwe.SecretKey, m int) (*P
 // (Alg. 2): ct = (ct_e + X^{N/2i}·ct_o) + φ_{2i+1}(ct_e - X^{N/2i}·ct_o),
 // with the automorphism realised homomorphically via the switching key.
 func PackTwoLWEs(p bfv.Params, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey) *rlwe.Ciphertext {
-	r := p.R
-	z := r.N / (2 * i)
 	lv := ctE.Levels()
-	mono := &rlwe.Ciphertext{B: r.NewPoly(lv), A: r.NewPoly(lv)}
-	p.MulMonomial(mono, ctO, z)
-
-	plus := &rlwe.Ciphertext{B: r.NewPoly(lv), A: r.NewPoly(lv)}
-	minus := &rlwe.Ciphertext{B: r.NewPoly(lv), A: r.NewPoly(lv)}
-	p.Add(plus, ctE, mono)
-	p.Sub(minus, ctE, mono)
-
-	autod := p.AutomorphCt(minus, 2*i+1, swk)
-	p.Add(plus, plus, autod)
-	return plus
+	out := &rlwe.Ciphertext{B: p.R.NewPoly(lv), A: p.R.NewPoly(lv)}
+	// PackTwoInto consumes its odd operand; work on a pooled copy so this
+	// non-destructive API keeps its contract.
+	o := p.GetCiphertext(lv)
+	o.CopyFrom(ctO)
+	PackTwoInto(p, out, i, ctE, o, swk)
+	p.PutCiphertext(o)
+	return out
 }
 
 // PackLWEs packs the given LWE ciphertexts (Alg. 3) into a single RLWE
@@ -151,27 +146,7 @@ func PackLWEs(p bfv.Params, cts []*Ciphertext, keys *PackingKeys) (*rlwe.Ciphert
 	for i, c := range cts {
 		rl[i] = c.AsRLWE(p)
 	}
-	return packRec(p, rl, keys), nil
-}
-
-func packRec(p bfv.Params, cts []*rlwe.Ciphertext, keys *PackingKeys) *rlwe.Ciphertext {
-	if len(cts) == 1 {
-		return cts[0]
-	}
-	half := len(cts) / 2
-	evens := make([]*rlwe.Ciphertext, 0, half)
-	odds := make([]*rlwe.Ciphertext, 0, half)
-	for i, c := range cts {
-		if i%2 == 0 {
-			evens = append(evens, c)
-		} else {
-			odds = append(odds, c)
-		}
-	}
-	ctE := packRec(p, evens, keys)
-	ctO := packRec(p, odds, keys)
-	k := 2*half + 1
-	return PackTwoLWEs(p, half, ctE, ctO, keys.Keys[k])
+	return PackRLWEs(p, rl, keys, 1)
 }
 
 // PackReductions returns the number of PACKTWOLWES invocations needed to

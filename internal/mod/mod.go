@@ -119,6 +119,17 @@ func (m Modulus) Reduce(a uint64) uint64 {
 	return a % m.Q
 }
 
+// ReduceBarrett returns a mod q for an arbitrary uint64 a via the Barrett
+// constant — no hardware division. It is the fast path for reducing
+// centred-lift magnitudes (|v| < 2^62) inside RESCALE and digit
+// decomposition loops, where Reduce's division would dominate.
+func (m Modulus) ReduceBarrett(a uint64) uint64 {
+	if a < m.Q {
+		return a
+	}
+	return m.BarrettReduce128(0, a)
+}
+
 // Reduce128 returns (hi·2^64 + lo) mod q using hardware division.
 // It is the canonical correct reduction against which the fast paths are
 // property-tested.
@@ -257,4 +268,18 @@ func (m Modulus) FromCentered(v int64) uint64 {
 		r += int64(m.Q)
 	}
 	return uint64(r)
+}
+
+// FromCenteredFast is FromCentered without hardware division: the magnitude
+// is reduced with the Barrett constant. Identical results for any int64
+// other than math.MinInt64.
+func (m Modulus) FromCenteredFast(v int64) uint64 {
+	if v >= 0 {
+		return m.ReduceBarrett(uint64(v))
+	}
+	r := m.ReduceBarrett(uint64(-v))
+	if r == 0 {
+		return 0
+	}
+	return m.Q - r
 }

@@ -30,6 +30,14 @@ type BankedUnit struct {
 	ROMDepth      int
 
 	seen []bool // scratch for per-cycle bank-conflict checking
+
+	// Ping-pong RAM model, allocated once: transforms alternate between
+	// the two banks and return whichever holds the final stage, so the
+	// returned slice is owned by the unit and valid until the next
+	// transform. These mirror the table-owned scratch of the software CG
+	// path — the real datapath has exactly two RAM halves, not a fresh
+	// buffer per job.
+	bufA, bufB []uint64
 }
 
 // NewBankedUnit models an NTT unit with nbf butterfly units. nbf must be a
@@ -41,6 +49,8 @@ func NewBankedUnit(t *Table, nbf int) (*BankedUnit, error) {
 	}
 	u := &BankedUnit{T: t, NBF: nbf}
 	u.buildROMs()
+	u.bufA = make([]uint64, t.N)
+	u.bufB = make([]uint64, t.N)
 	return u, nil
 }
 
@@ -74,6 +84,8 @@ func (u *BankedUnit) bankOf(idx int) int { return idx % (2 * u.NBF) }
 
 // Forward runs the forward transform through the banked model. It returns
 // the result (bit-reversed order) and records Cycles and BankConflicts.
+// The returned slice is one of the unit's two ping-pong RAM banks and is
+// valid until the next transform on this unit.
 func (u *BankedUnit) Forward(src []uint64) []uint64 {
 	t := u.T
 	if len(src) != t.N {
@@ -84,9 +96,8 @@ func (u *BankedUnit) Forward(src []uint64) []uint64 {
 	half := t.N / 2
 	lanes := 2 * u.NBF // coefficients read (and written) per cycle
 
-	cur := make([]uint64, t.N)
+	cur, next := u.bufA, u.bufB
 	copy(cur, src)
-	next := make([]uint64, t.N)
 
 	u.Cycles = 0
 	u.BankConflicts = 0
@@ -180,6 +191,8 @@ func (u *BankedUnit) VerifyROMs() error {
 // mirrored constant-geometry dataflow (gather pairs (2j, 2j+1), scatter to
 // (j, j+N/2)) with the same bank striping, cycle count and per-BFU
 // inverse-twiddle ROMs. Results are bit-identical to Table.Inverse.
+// As with Forward, the returned slice is owned by the unit and valid until
+// the next transform.
 func (u *BankedUnit) Inverse(src []uint64) []uint64 {
 	t := u.T
 	if len(src) != t.N {
@@ -190,9 +203,8 @@ func (u *BankedUnit) Inverse(src []uint64) []uint64 {
 	half := t.N / 2
 	lanes := 2 * u.NBF
 
-	cur := make([]uint64, t.N)
+	cur, next := u.bufA, u.bufB
 	copy(cur, src)
-	next := make([]uint64, t.N)
 
 	u.Cycles = 0
 	u.BankConflicts = 0

@@ -28,15 +28,17 @@ func (t *Table) CGTwiddleIndex(s, j int) int {
 
 // pingPong returns two work buffers (a, b) such that running `stages`
 // alternating passes a→b, b→a, ... leaves the final result in the buffer
-// that is dst, avoiding a trailing copy. src is only read.
-func pingPong(dst, src []uint64, stages int) (a, b []uint64) {
+// that is dst, avoiding a trailing copy. src is only read. The second
+// buffer comes from the table's scratch pool; the caller must release it
+// via putScratch(sp) once the passes are done.
+func (t *Table) pingPong(dst, src []uint64, stages int) (a, b []uint64, sp *[]uint64) {
+	sp = t.getScratch()
 	if stages%2 == 1 {
-		a = make([]uint64, len(src))
-		copy(a, src)
-		return a, dst
+		copy(*sp, src)
+		return *sp, dst, sp
 	}
 	copy(dst, src)
-	return dst, make([]uint64, len(src))
+	return dst, *sp, sp
 }
 
 // ForwardCG computes the negacyclic NTT of src into dst (natural order in,
@@ -49,7 +51,7 @@ func (t *Table) ForwardCG(dst, src []uint64) {
 	m := t.M
 	q := m.Q
 	half := t.N / 2
-	cur, next := pingPong(dst, src, t.LogN)
+	cur, next, sp := t.pingPong(dst, src, t.LogN)
 	for s := 0; s < t.LogN; s++ {
 		for j := 0; j < half; j++ {
 			k := t.CGTwiddleIndex(s, j)
@@ -67,6 +69,7 @@ func (t *Table) ForwardCG(dst, src []uint64) {
 		}
 		cur, next = next, cur
 	}
+	t.putScratch(sp)
 }
 
 // InverseCG computes the inverse negacyclic NTT of src into dst
@@ -80,7 +83,7 @@ func (t *Table) InverseCG(dst, src []uint64) {
 	m := t.M
 	q := m.Q
 	half := t.N / 2
-	cur, next := pingPong(dst, src, t.LogN)
+	cur, next, sp := t.pingPong(dst, src, t.LogN)
 	for s := t.LogN - 1; s >= 0; s-- {
 		for j := 0; j < half; j++ {
 			k := t.CGTwiddleIndex(s, j)
@@ -98,6 +101,7 @@ func (t *Table) InverseCG(dst, src []uint64) {
 		}
 		cur, next = next, cur
 	}
+	t.putScratch(sp)
 	for j := range dst {
 		dst[j] = m.MulShoup(dst[j], t.nInv, t.nInvShoup)
 	}

@@ -47,3 +47,37 @@ func (t *Table) ForwardLazy(a []uint64) {
 		a[j] = v
 	}
 }
+
+// InverseLazy computes the same transform as Inverse with lazy reductions:
+// butterfly values stay in [0, 2q) and the trailing N^-1 Shoup pass fully
+// reduces, so the output is bit-identical to the strict Gentleman-Sande
+// schedule while skipping one conditional subtraction per butterfly.
+func (t *Table) InverseLazy(a []uint64) {
+	if len(a) != t.N {
+		panic("ntt: length mismatch")
+	}
+	m := t.M
+	twoQ := 2 * m.Q
+	span := 1
+	for blocks := t.N >> 1; blocks >= 1; blocks >>= 1 {
+		base := 0
+		for i := 0; i < blocks; i++ {
+			w := t.rootsInv[blocks+i]
+			wp := t.rootsInvShoup[blocks+i]
+			for j := base; j < base+span; j++ {
+				u, v := a[j], a[j+span] // both < 2q
+				s := u + v              // < 4q
+				if s >= twoQ {
+					s -= twoQ
+				}
+				a[j] = s
+				a[j+span] = m.MulShoupLazy(u+twoQ-v, w, wp)
+			}
+			base += 2 * span
+		}
+		span <<= 1
+	}
+	for j := range a {
+		a[j] = m.MulShoup(a[j], t.nInv, t.nInvShoup)
+	}
+}

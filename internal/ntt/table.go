@@ -17,6 +17,7 @@ package ntt
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"cham/internal/mod"
 )
@@ -26,6 +27,11 @@ type Table struct {
 	N    int
 	LogN int
 	M    mod.Modulus
+
+	// scratch pools N-word work buffers for the out-of-place
+	// constant-geometry passes, so transforms allocate nothing after
+	// warm-up. Entries are *[]uint64 so Get/Put stay allocation-free.
+	scratch sync.Pool
 
 	Psi    uint64 // primitive 2N-th root of unity mod q
 	PsiInv uint64
@@ -94,6 +100,19 @@ func MustTable(n int, q uint64) *Table {
 	}
 	return t
 }
+
+// getScratch borrows an N-word buffer from the table's pool. The returned
+// pointer must be handed back with putScratch; the slice contents are
+// arbitrary.
+func (t *Table) getScratch() *[]uint64 {
+	if p, ok := t.scratch.Get().(*[]uint64); ok {
+		return p
+	}
+	buf := make([]uint64, t.N)
+	return &buf
+}
+
+func (t *Table) putScratch(p *[]uint64) { t.scratch.Put(p) }
 
 // brv reverses the low `width` bits of x.
 func brv(x uint, width int) uint {

@@ -38,19 +38,33 @@ func (r *Ring) ShiftNeg(out, a *Poly, s int) {
 		panic("ring: shift out of range")
 	}
 	n := r.N
-	tmp := make([]uint64, n)
 	for l := range a.Coeffs {
 		m := r.Moduli[l]
-		ra := a.Coeffs[l]
+		ra, ro := a.Coeffs[l], out.Coeffs[l]
+		dst, sp := r.permDst(ro, ra)
 		for i := 0; i < s; i++ {
-			tmp[i] = ra[n-s+i]
+			dst[i] = ra[n-s+i]
 		}
 		for i := s; i < n; i++ {
-			tmp[i] = m.Neg(ra[i-s])
+			dst[i] = m.Neg(ra[i-s])
 		}
-		copy(out.Coeffs[l], tmp)
+		if sp != nil {
+			copy(ro, dst)
+			r.putScratch(sp)
+		}
 	}
 	out.IsNTT = false
+}
+
+// permDst returns the buffer a permutation should write to: ro itself when
+// it does not alias ra, or a pooled scratch row (with its pool token) when
+// it does, so in-place calls stay correct without a per-call allocation.
+func (r *Ring) permDst(ro, ra []uint64) ([]uint64, *[]uint64) {
+	if &ro[0] != &ra[0] {
+		return ro, nil
+	}
+	sp := r.getScratch()
+	return *sp, sp
 }
 
 // MulMonomial sets out = a · X^e where e may be any integer; exponents are
@@ -66,23 +80,29 @@ func (r *Ring) MulMonomial(out, a *Poly, e int) {
 		e -= n
 		neg = true
 	}
-	tmp := make([]uint64, n)
 	for l := range a.Coeffs {
 		m := r.Moduli[l]
-		ra := a.Coeffs[l]
-		// (X^e·a)_k = a_{k-e} for k >= e, -a_{N+k-e} for k < e.
-		for k := 0; k < e; k++ {
-			tmp[k] = m.Neg(ra[n+k-e])
-		}
-		for k := e; k < n; k++ {
-			tmp[k] = ra[k-e]
-		}
+		ra, ro := a.Coeffs[l], out.Coeffs[l]
+		dst, sp := r.permDst(ro, ra)
+		// (X^e·a)_k = a_{k-e} for k >= e, -a_{N+k-e} for k < e; the global
+		// -1 of e >= N folds into each branch.
 		if neg {
-			for k := range tmp {
-				tmp[k] = m.Neg(tmp[k])
+			for k := 0; k < e; k++ {
+				dst[k] = ra[n+k-e]
 			}
+			for k := e; k < n; k++ {
+				dst[k] = m.Neg(ra[k-e])
+			}
+		} else {
+			for k := 0; k < e; k++ {
+				dst[k] = m.Neg(ra[n+k-e])
+			}
+			copy(dst[e:], ra[:n-e])
 		}
-		copy(out.Coeffs[l], tmp)
+		if sp != nil {
+			copy(ro, dst)
+			r.putScratch(sp)
+		}
 	}
 	out.IsNTT = false
 }
@@ -98,19 +118,22 @@ func (r *Ring) Automorph(out, a *Poly, k int) {
 	}
 	n := r.N
 	kk := ((k % (2 * n)) + 2*n) % (2 * n)
-	tmp := make([]uint64, n)
 	for l := range a.Coeffs {
 		m := r.Moduli[l]
-		ra := a.Coeffs[l]
+		ra, ro := a.Coeffs[l], out.Coeffs[l]
+		dst, sp := r.permDst(ro, ra)
 		for i := 0; i < n; i++ {
 			j := i * kk % (2 * n)
 			if j < n {
-				tmp[j] = ra[i]
+				dst[j] = ra[i]
 			} else {
-				tmp[j-n] = m.Neg(ra[i])
+				dst[j-n] = m.Neg(ra[i])
 			}
 		}
-		copy(out.Coeffs[l], tmp)
+		if sp != nil {
+			copy(ro, dst)
+			r.putScratch(sp)
+		}
 	}
 	out.IsNTT = false
 }

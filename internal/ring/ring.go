@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"sync"
 
 	"cham/internal/mod"
 	"cham/internal/ntt"
@@ -26,6 +27,16 @@ type Ring struct {
 	N      int
 	Moduli []mod.Modulus
 	Tables []*ntt.Table
+
+	// polyPools[lv-1] recycles *Poly buffers with lv limbs (GetPoly/PutPoly);
+	// scratch recycles single N-word rows for the permutation ops.
+	polyPools []sync.Pool
+	scratch   sync.Pool
+
+	// modDownInv[sp][l] = q_sp^-1 mod q_l (with its Shoup companion), the
+	// RESCALE constants for dropping limb sp into limb l — cached here so
+	// ModDown never recomputes a Fermat inversion per call.
+	modDownInv, modDownInvShoup [][]uint64
 }
 
 // New constructs a Ring of degree n over the given prime moduli. Every
@@ -47,6 +58,19 @@ func New(n int, moduli []uint64) (*Ring, error) {
 		}
 		r.Moduli = append(r.Moduli, t.M)
 		r.Tables = append(r.Tables, t)
+	}
+	r.polyPools = make([]sync.Pool, len(r.Moduli))
+	r.modDownInv = make([][]uint64, len(r.Moduli))
+	r.modDownInvShoup = make([][]uint64, len(r.Moduli))
+	for sp := 1; sp < len(r.Moduli); sp++ {
+		r.modDownInv[sp] = make([]uint64, sp)
+		r.modDownInvShoup[sp] = make([]uint64, sp)
+		for l := 0; l < sp; l++ {
+			ml := r.Moduli[l]
+			inv := ml.Inv(ml.Reduce(r.Moduli[sp].Q))
+			r.modDownInv[sp][l] = inv
+			r.modDownInvShoup[sp][l] = ml.ShoupPrecomp(inv)
+		}
 	}
 	return r, nil
 }
@@ -251,13 +275,14 @@ func (r *Ring) NTT(p *Poly) {
 	p.IsNTT = true
 }
 
-// INTT transforms p back to the coefficient domain in place.
+// INTT transforms p back to the coefficient domain in place (lazy-reduction
+// fast path; bit-identical to the strict transform).
 func (r *Ring) INTT(p *Poly) {
 	if !p.IsNTT {
 		panic("ring: INTT of a coefficient-domain polynomial")
 	}
 	for l := range p.Coeffs {
-		r.Tables[l].Inverse(p.Coeffs[l])
+		r.Tables[l].InverseLazy(p.Coeffs[l])
 	}
 	p.IsNTT = false
 }
@@ -269,9 +294,7 @@ func (r *Ring) NTTCG(p *Poly) {
 		panic("ring: NTT of an NTT-domain polynomial")
 	}
 	for l := range p.Coeffs {
-		tmp := make([]uint64, r.N)
-		r.Tables[l].ForwardCG(tmp, p.Coeffs[l])
-		copy(p.Coeffs[l], tmp)
+		r.Tables[l].ForwardCG(p.Coeffs[l], p.Coeffs[l])
 	}
 	p.IsNTT = true
 }
@@ -281,9 +304,7 @@ func (r *Ring) INTTCG(p *Poly) {
 		panic("ring: INTT of a coefficient-domain polynomial")
 	}
 	for l := range p.Coeffs {
-		tmp := make([]uint64, r.N)
-		r.Tables[l].InverseCG(tmp, p.Coeffs[l])
-		copy(p.Coeffs[l], tmp)
+		r.Tables[l].InverseCG(p.Coeffs[l], p.Coeffs[l])
 	}
 	p.IsNTT = false
 }

@@ -131,27 +131,7 @@ func (r *Ring) ModUp(p *Poly) *Poly {
 // out ≈ round(p / q_last) over the remaining basis. This is the RESCALE
 // unit (stage 4) and the closing step of key switching.
 func (r *Ring) ModDown(p *Poly) *Poly {
-	lv := p.Levels()
-	if lv < 2 {
-		panic("ring: nothing to drop")
-	}
-	if p.IsNTT {
-		panic("ring: ModDown requires coefficient domain")
-	}
-	msp := r.Moduli[lv-1] // the special modulus being divided out
-	out := r.NewPoly(lv - 1)
-	for l := 0; l < lv-1; l++ {
-		ml := r.Moduli[l]
-		pInv := ml.Inv(ml.Reduce(msp.Q))
-		pp := ml.ShoupPrecomp(pInv)
-		for i := 0; i < r.N; i++ {
-			// Centred remainder of the special limb, lifted into limb l:
-			// out = (x - [x]_p)·p^-1 = round(x/p) with |error| <= 1/2.
-			rem := msp.CenterLift(p.Coeffs[lv-1][i])
-			d := ml.Sub(p.Coeffs[l][i], ml.FromCentered(rem))
-			out.Coeffs[l][i] = ml.MulShoup(d, pInv, pp)
-		}
-	}
-	out.IsNTT = false
+	out := r.NewPoly(p.Levels() - 1)
+	r.ModDownInto(out, p)
 	return out
 }

@@ -1,0 +1,220 @@
+package rlwe
+
+// Allocation-free variants of the key-switching pipeline. The *Into forms
+// write into caller-owned ciphertexts and draw every temporary from the
+// ring's buffer pool, so a warm PACKTWOLWES / KEYSWITCH chain touches the
+// heap zero times. The switching key's Shoup companion tables (Precompute)
+// halve the cost of the digit·key MULTPOLY accumulation, the dominant
+// multiply count of stages 5–9.
+
+import (
+	"sync"
+
+	"cham/internal/ring"
+)
+
+// ctShells recycles Ciphertext headers; the polynomial buffers they carry
+// come from the ring's own pool. Shells are ring-agnostic (two pointers),
+// so one process-wide pool is safe.
+var ctShells sync.Pool
+
+// GetCiphertext borrows a pooled ciphertext with the given limb count.
+// Coefficients are ARBITRARY; see ring.GetPoly. Release with PutCiphertext.
+func (p Params) GetCiphertext(levels int) *Ciphertext {
+	ct, ok := ctShells.Get().(*Ciphertext)
+	if !ok {
+		ct = &Ciphertext{}
+	}
+	ct.B = p.R.GetPoly(levels)
+	ct.A = p.R.GetPoly(levels)
+	return ct
+}
+
+// PutCiphertext returns a ciphertext obtained from GetCiphertext to the
+// pool. The caller must not use ct afterwards.
+func (p Params) PutCiphertext(ct *Ciphertext) {
+	if ct == nil {
+		return
+	}
+	p.R.PutPoly(ct.B)
+	p.R.PutPoly(ct.A)
+	ct.B, ct.A = nil, nil
+	ctShells.Put(ct)
+}
+
+// Precompute fills the switching key's Shoup companion tables. KeyGen does
+// this automatically; call it after deserializing a key. Safe to call more
+// than once; not safe concurrently with use of the key.
+func (k *SwitchingKey) Precompute(r *ring.Ring) {
+	if k.BsShoup != nil {
+		return
+	}
+	bs := make([][][]uint64, len(k.Bs))
+	as := make([][][]uint64, len(k.As))
+	for j := range k.Bs {
+		bs[j] = r.ShoupPrecompPoly(k.Bs[j])
+		as[j] = r.ShoupPrecompPoly(k.As[j])
+	}
+	k.BsShoup, k.AsShoup = bs, as
+}
+
+// CopyFrom copies o into ct. Level counts must match.
+func (ct *Ciphertext) CopyFrom(o *Ciphertext) {
+	ct.B.CopyFrom(o.B)
+	ct.A.CopyFrom(o.A)
+}
+
+// decomposeDigitInto is decomposeDigit writing into a caller-supplied
+// full-basis polynomial. Row `digit` of the output is an exact copy of the
+// input row (the centred lift is the identity modulo its own limb); the
+// other rows use division-free centred reductions.
+func (p Params) decomposeDigitInto(out *ring.Poly, a *ring.Poly, digit int) {
+	r := p.R
+	lv := r.Levels()
+	md := r.Moduli[digit]
+	src := a.Coeffs[digit]
+	half := md.Q / 2
+	for l := 0; l < lv; l++ {
+		if l == digit {
+			copy(out.Coeffs[l], src)
+			continue
+		}
+		ml := r.Moduli[l]
+		ro := out.Coeffs[l]
+		for i, x := range src {
+			if x > half {
+				// negative lift: x - q_d, i.e. -(q_d - x)
+				v := ml.ReduceBarrett(md.Q - x)
+				if v == 0 {
+					ro[i] = 0
+				} else {
+					ro[i] = ml.Q - v
+				}
+			} else {
+				ro[i] = ml.ReduceBarrett(x)
+			}
+		}
+	}
+	out.IsNTT = false
+	r.NTT(out)
+}
+
+// keySwitchPolys runs the digit-decomposed key switch on a bare (b, a)
+// pair: outB/outA (normal basis, coefficient domain) receive the switched
+// a-part contribution; the caller adds the original b. All temporaries are
+// pooled.
+func (p Params) keySwitchPolys(outB, outA *ring.Poly, a *ring.Poly, swk *SwitchingKey) {
+	r := p.R
+	lv := r.Levels()
+	c0 := r.GetPoly(lv)
+	c1 := r.GetPoly(lv)
+	d := r.GetPoly(lv)
+	shoup := swk.BsShoup != nil
+	for j := 0; j < p.NormalLevels; j++ {
+		p.decomposeDigitInto(d, a, j)
+		switch {
+		case j == 0 && shoup:
+			r.MulCoeffShoup(c0, d, swk.Bs[0], swk.BsShoup[0])
+			r.MulCoeffShoup(c1, d, swk.As[0], swk.AsShoup[0])
+		case shoup:
+			r.MulCoeffShoupAdd(c0, d, swk.Bs[j], swk.BsShoup[j])
+			r.MulCoeffShoupAdd(c1, d, swk.As[j], swk.AsShoup[j])
+		case j == 0:
+			r.MulCoeff(c0, d, swk.Bs[0])
+			r.MulCoeff(c1, d, swk.As[0])
+		default:
+			r.MulCoeffAdd(c0, d, swk.Bs[j])
+			r.MulCoeffAdd(c1, d, swk.As[j])
+		}
+	}
+	r.PutPoly(d)
+	r.INTT(c0)
+	r.INTT(c1)
+
+	// Divide by the special modulus (rounding) back to the normal basis.
+	b, av := c0, c1
+	for b.Levels() > p.NormalLevels+1 {
+		nb := r.GetPoly(b.Levels() - 1)
+		na := r.GetPoly(av.Levels() - 1)
+		r.ModDownInto(nb, b)
+		r.ModDownInto(na, av)
+		if b != c0 {
+			r.PutPoly(b)
+			r.PutPoly(av)
+		}
+		b, av = nb, na
+	}
+	r.ModDownInto(outB, b)
+	r.ModDownInto(outA, av)
+	if b != c0 {
+		r.PutPoly(b)
+		r.PutPoly(av)
+	}
+	r.PutPoly(c0)
+	r.PutPoly(c1)
+}
+
+// KeySwitchInto is KeySwitch writing into a caller-owned normal-basis
+// ciphertext. out may alias ct.
+func (p Params) KeySwitchInto(out, ct *Ciphertext, swk *SwitchingKey) {
+	if ct.IsNTT() {
+		panic("rlwe: KeySwitch requires coefficient domain")
+	}
+	if ct.Levels() != p.NormalLevels || out.Levels() != p.NormalLevels {
+		panic("rlwe: KeySwitch requires normal-basis ciphertexts")
+	}
+	p.keySwitchPolys(out.B, out.A, ct.A, swk)
+	p.R.Add(out.B, out.B, ct.B)
+}
+
+// AutomorphCtInto is AutomorphCt writing into a caller-owned ciphertext:
+// out = KeySwitch(φ_k(ct)). out may alias ct.
+func (p Params) AutomorphCtInto(out, ct *Ciphertext, k int, swk *SwitchingKey) {
+	r := p.R
+	if ct.IsNTT() {
+		panic("rlwe: AutomorphCt requires coefficient domain")
+	}
+	if ct.Levels() != p.NormalLevels || out.Levels() != p.NormalLevels {
+		panic("rlwe: AutomorphCt requires normal-basis ciphertexts")
+	}
+	phiB := r.GetPoly(ct.Levels())
+	phiA := r.GetPoly(ct.Levels())
+	r.Automorph(phiB, ct.B, k)
+	r.Automorph(phiA, ct.A, k)
+	// (φb, φa) decrypts under φ(s); switch from φ(s) back to s, then add
+	// the permuted b which rides along unchanged.
+	p.keySwitchPolys(out.B, out.A, phiA, swk)
+	r.Add(out.B, out.B, phiB)
+	r.PutPoly(phiB)
+	r.PutPoly(phiA)
+}
+
+// RescaleInto is Rescale writing into a caller-owned normal-basis
+// ciphertext, pooling any intermediate levels.
+func (p Params) RescaleInto(out, ct *Ciphertext) {
+	r := p.R
+	if ct.Levels() != r.Levels() {
+		panic("rlwe: Rescale requires an augmented ciphertext")
+	}
+	if out.Levels() != p.NormalLevels {
+		panic("rlwe: Rescale output must be normal basis")
+	}
+	b, a := ct.B, ct.A
+	for b.Levels() > p.NormalLevels+1 {
+		nb := r.GetPoly(b.Levels() - 1)
+		na := r.GetPoly(a.Levels() - 1)
+		r.ModDownInto(nb, b)
+		r.ModDownInto(na, a)
+		if b != ct.B {
+			r.PutPoly(b)
+			r.PutPoly(a)
+		}
+		b, a = nb, na
+	}
+	r.ModDownInto(out.B, b)
+	r.ModDownInto(out.A, a)
+	if b != ct.B {
+		r.PutPoly(b)
+		r.PutPoly(a)
+	}
+}

@@ -68,6 +68,7 @@ func (p Params) SwitchingKeyGen(rng *rand.Rand, sk *SecretKey, srcKey *ring.Poly
 		r.Add(b, b, term)
 		swk.Bs[j], swk.As[j] = b, a
 	}
+	swk.Precompute(r)
 	return swk
 }
 
@@ -79,58 +80,16 @@ func (p Params) AutomorphismKeyGen(rng *rand.Rand, sk *SecretKey, k int) *Switch
 	return p.SwitchingKeyGen(rng, sk, phiS)
 }
 
-// decomposeDigit lifts the centred residue of row `digit` of a (a
-// normal-basis coefficient-domain polynomial) into a full-basis NTT-domain
-// polynomial whose coefficients are bounded by q_digit/2 in magnitude.
-func (p Params) decomposeDigit(a *ring.Poly, digit int) *ring.Poly {
-	r := p.R
-	lv := r.Levels()
-	md := r.Moduli[digit]
-	out := r.NewPoly(lv)
-	for i := 0; i < r.N; i++ {
-		c := md.CenterLift(a.Coeffs[digit][i])
-		for l := 0; l < lv; l++ {
-			out.Coeffs[l][i] = r.Moduli[l].FromCentered(c)
-		}
-	}
-	r.NTT(out)
-	return out
-}
-
 // KeySwitch converts a normal-basis coefficient-domain ciphertext whose
 // phase decrypts under some source key into one decrypting under the
 // params' key, using the matching switching key. This is the paper's
 // KEYSWITCH stage (the tail of PACKTWOLWES, pipeline stages 5~9).
 func (p Params) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
-	r := p.R
-	if ct.IsNTT() {
-		panic("rlwe: KeySwitch requires coefficient domain")
+	out := &Ciphertext{
+		B: p.R.NewPoly(p.NormalLevels),
+		A: p.R.NewPoly(p.NormalLevels),
 	}
-	if ct.Levels() != p.NormalLevels {
-		panic("rlwe: KeySwitch requires a normal-basis ciphertext")
-	}
-	lv := r.Levels()
-	c0 := r.NewPoly(lv)
-	c1 := r.NewPoly(lv)
-	c0.IsNTT, c1.IsNTT = true, true
-	tmp := r.NewPoly(lv)
-	for j := 0; j < p.NormalLevels; j++ {
-		d := p.decomposeDigit(ct.A, j)
-		r.MulCoeff(tmp, d, swk.Bs[j])
-		r.Add(c0, c0, tmp)
-		r.MulCoeff(tmp, d, swk.As[j])
-		r.Add(c1, c1, tmp)
-	}
-	r.INTT(c0)
-	r.INTT(c1)
-
-	// Divide by the special modulus (rounding) back to the normal basis.
-	for c0.Levels() > p.NormalLevels {
-		c0 = r.ModDown(c0)
-		c1 = r.ModDown(c1)
-	}
-	out := &Ciphertext{B: c0, A: c1}
-	r.Add(out.B, out.B, ct.B)
+	p.KeySwitchInto(out, ct, swk)
 	return out
 }
 
@@ -139,17 +98,12 @@ func (p Params) KeySwitch(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
 // AutomorphismKeyGen(·, k). Input and output are normal-basis,
 // coefficient-domain ciphertexts.
 func (p Params) AutomorphCt(ct *Ciphertext, k int, swk *SwitchingKey) *Ciphertext {
-	r := p.R
-	if ct.IsNTT() {
-		panic("rlwe: AutomorphCt requires coefficient domain")
+	out := &Ciphertext{
+		B: p.R.NewPoly(p.NormalLevels),
+		A: p.R.NewPoly(p.NormalLevels),
 	}
-	phiB := r.NewPoly(ct.Levels())
-	phiA := r.NewPoly(ct.Levels())
-	r.Automorph(phiB, ct.B, k)
-	r.Automorph(phiA, ct.A, k)
-	// (φb, φa) decrypts under φ(s); switch from φ(s) back to s. The b part
-	// rides along unchanged through KeySwitch.
-	return p.KeySwitch(&Ciphertext{B: phiB, A: phiA}, swk)
+	p.AutomorphCtInto(out, ct, k, swk)
+	return out
 }
 
 // NoiseBits returns log2 of the largest absolute difference between the

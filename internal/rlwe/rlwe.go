@@ -69,8 +69,13 @@ type PublicKey struct {
 // SwitchingKey re-encrypts a phase under source key s' to the target key s.
 // It holds one RNS digit per normal limb (see keyswitch.go):
 // Bs[j] = -As[j]·s + P·ê_j·s' + E_j over the full basis, NTT domain.
+//
+// BsShoup/AsShoup are the per-coefficient Shoup companion words of Bs/As
+// (the key is a fixed multiplicand in every switch), filled by Precompute;
+// the hot path falls back to Barrett multiplies when they are absent.
 type SwitchingKey struct {
-	Bs, As []*ring.Poly
+	Bs, As           []*ring.Poly
+	BsShoup, AsShoup [][][]uint64
 }
 
 // Ciphertext is an RLWE pair. Both polynomials always share level count and
@@ -233,13 +238,10 @@ func (p Params) MulMonomial(out, ct *Ciphertext, e int) {
 // rounding (RESCALE, pipeline stage 4), returning a normal-basis
 // ciphertext. Input must be in coefficient domain with full levels.
 func (p Params) Rescale(ct *Ciphertext) *Ciphertext {
-	if ct.Levels() != p.R.Levels() {
-		panic("rlwe: Rescale requires an augmented ciphertext")
+	out := &Ciphertext{
+		B: p.R.NewPoly(p.NormalLevels),
+		A: p.R.NewPoly(p.NormalLevels),
 	}
-	b, a := ct.B, ct.A
-	for b.Levels() > p.NormalLevels {
-		b = p.R.ModDown(b)
-		a = p.R.ModDown(a)
-	}
-	return &Ciphertext{B: b, A: a}
+	p.RescaleInto(out, ct)
+	return out
 }
