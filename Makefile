@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench tier2 fuzz vet-strict
 
 # Tier-1 gate: everything a PR must keep green.
 check: vet build race
@@ -17,7 +18,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Tier-2 gate: the race detector across the tree, a $(FUZZTIME) smoke on
+# every fuzz target, and the stricter vet analyzers the concurrent hot
+# path depends on. Benchmarks only run on a tree that has passed it.
+tier2: race fuzz vet-strict
+
+vet-strict:
+	$(GO) vet -copylocks -loopclosure ./...
+
+fuzz:
+	$(GO) test ./internal/mod -run '^$$' -fuzz '^FuzzModReduce$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ntt -run '^$$' -fuzz '^FuzzNTTRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ntt -run '^$$' -fuzz '^FuzzNegacyclicMul$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lwe -run '^$$' -fuzz '^FuzzPackLWEs$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHMVPDifferential$$' -fuzztime $(FUZZTIME)
+
 # Hot-path benchmarks + the machine-readable BENCH_hmvp.json report.
-bench:
+bench: tier2
 	$(GO) test -run xxx -bench 'Software|PreparedMatVec' -benchmem .
 	$(GO) run ./cmd/chambench

@@ -1,0 +1,35 @@
+// Command chamkat verifies the golden known-answer tests under
+// internal/kat/testdata against freshly generated values, or regenerates
+// them after an intentional pipeline change:
+//
+//	go run ./cmd/chamkat           # verify (non-zero exit on mismatch)
+//	go run ./cmd/chamkat -regen    # rewrite the golden files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cham/internal/kat"
+)
+
+func main() {
+	regen := flag.Bool("regen", false, "rewrite the golden KAT files instead of verifying them")
+	dir := flag.String("dir", "internal/kat/testdata", "directory holding the golden KAT files")
+	flag.Parse()
+
+	if *regen {
+		if err := kat.Write(*dir); err != nil {
+			fmt.Fprintln(os.Stderr, "chamkat:", err)
+			os.Exit(1)
+		}
+		fmt.Println("chamkat: golden KATs regenerated in", *dir)
+		return
+	}
+	if err := kat.Verify(*dir); err != nil {
+		fmt.Fprintln(os.Stderr, "chamkat:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chamkat: all golden KATs verified")
+}

@@ -9,6 +9,7 @@ import (
 	"cham/internal/mod"
 	"cham/internal/ring"
 	"cham/internal/rlwe"
+	"cham/internal/testutil"
 )
 
 func testParams(tb testing.TB, n int) Params {
@@ -47,7 +48,7 @@ func TestNewParamsValidation(t *testing.T) {
 
 func TestEncryptDecryptRoundTrip(t *testing.T) {
 	p := testParams(t, 256)
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	pk := p.PublicKeyGen(rng, sk)
 
@@ -76,7 +77,7 @@ func TestEncryptDecryptRoundTrip(t *testing.T) {
 
 func TestHomomorphicAdd(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(2))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	f := func(seed int64) bool {
 		r2 := rand.New(rand.NewSource(seed))
@@ -105,7 +106,7 @@ func TestHomomorphicAdd(t *testing.T) {
 // coefficient of Dec(pt^(A_i) × ct^(v)) must equal the inner product.
 func TestDotProductViaMulPlain(t *testing.T) {
 	p := testParams(t, 256)
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	n := p.R.N
@@ -129,7 +130,7 @@ func TestDotProductViaMulPlain(t *testing.T) {
 // checks the rescaled result still decrypts to the correct product.
 func TestMulPlainRescale(t *testing.T) {
 	p := testParams(t, 256)
-	rng := rand.New(rand.NewSource(4))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	n := p.R.N
@@ -165,7 +166,7 @@ func TestMulPlainRescale(t *testing.T) {
 // multiplying in the normal basis directly.
 func TestRescaleReducesNoise(t *testing.T) {
 	p := testParams(t, 256)
-	rng := rand.New(rand.NewSource(5))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	n := p.R.N
@@ -255,7 +256,7 @@ func bigConv(p Params, a, b *Plaintext) []*big.Int {
 
 func TestAddPlainAndMulScalar(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(77))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	a := p.NewPlaintext()
@@ -289,7 +290,7 @@ func TestAddPlainAndMulScalar(t *testing.T) {
 // operations: Dec(c·(ct_a + ct_b) + pt) == c·(a+b) + pt mod t.
 func TestHomomorphicLaws(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(99))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	f := func(cRaw uint16, seed int64) bool {
 		c := uint64(cRaw)%64 + 1 // small scalar keeps noise bounded

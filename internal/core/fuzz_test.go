@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cham/internal/bfv"
+	"cham/internal/ref"
+	"cham/internal/rlwe"
+)
+
+var hmvpFuzz struct {
+	once sync.Once
+	p    bfv.Params
+	sk   *rlwe.SecretKey
+	ev   *Evaluator
+	refK map[int]*ref.SwitchingKey
+	err  error
+}
+
+func hmvpFuzzSetup() error {
+	hmvpFuzz.once.Do(func() {
+		p, err := bfv.NewChamParams(32)
+		if err != nil {
+			hmvpFuzz.err = err
+			return
+		}
+		rng := rand.New(rand.NewSource(99))
+		sk := p.KeyGen(rng)
+		ev, err := NewEvaluator(p, rng, sk, 8)
+		if err != nil {
+			hmvpFuzz.err = err
+			return
+		}
+		hmvpFuzz.p, hmvpFuzz.sk, hmvpFuzz.ev = p, sk, ev
+		hmvpFuzz.refK = ref.Keys(p, ev.Keys)
+	})
+	return hmvpFuzz.err
+}
+
+// FuzzHMVPDifferential runs the optimized pipeline against the big.Int
+// reference model end to end on fuzz-chosen shapes and contents: the
+// packed outputs must agree bit for bit and both must decrypt to the
+// cleartext product.
+func FuzzHMVPDifferential(f *testing.F) {
+	f.Add(uint8(1), uint8(32), int64(1))
+	f.Add(uint8(3), uint8(40), int64(2))
+	f.Add(uint8(6), uint8(96), int64(-5))
+	f.Fuzz(func(t *testing.T, rowsSel, colsSel uint8, seed int64) {
+		if err := hmvpFuzzSetup(); err != nil {
+			t.Fatal(err)
+		}
+		p, sk, ev := hmvpFuzz.p, hmvpFuzz.sk, hmvpFuzz.ev
+		rows := 1 + int(rowsSel)%8
+		cols := 1 + int(colsSel)%(3*p.R.N) // up to 3 chunks
+		rng := rand.New(rand.NewSource(seed))
+
+		A := make([][]uint64, rows)
+		for i := range A {
+			A[i] = make([]uint64, cols)
+			for j := range A[i] {
+				A[i][j] = rng.Uint64() % p.T.Q
+			}
+		}
+		v := make([]uint64, cols)
+		for j := range v {
+			v[j] = rng.Uint64() % p.T.Q
+		}
+		ctV := EncryptVector(p, rng, sk, v)
+
+		res, err := ev.MatVec(A, ctV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ref.HMVP(p, A, ctV, hmvpFuzz.refK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.MatchesResult(p, res.Packed); err != nil {
+			t.Fatalf("rows=%d cols=%d seed=%d: %v", rows, cols, seed, err)
+		}
+		want := PlainMatVec(p, A, v)
+		opt := DecryptResult(p, res, sk)
+		refDec := tr.DecryptResult(p, sk)
+		for i := range want {
+			if opt[i] != want[i] || refDec[i] != want[i] {
+				t.Fatalf("rows=%d cols=%d seed=%d row %d: optimized %d, reference %d, cleartext %d",
+					rows, cols, seed, i, opt[i], refDec[i], want[i])
+			}
+		}
+	})
+}

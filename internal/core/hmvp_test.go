@@ -6,6 +6,7 @@ import (
 
 	"cham/internal/bfv"
 	"cham/internal/rlwe"
+	"cham/internal/testutil"
 )
 
 func testParams(tb testing.TB, n int) bfv.Params {
@@ -41,7 +42,7 @@ func randomVector(rng *rand.Rand, n int, bound uint64) []uint64 {
 // m < n, m > n regimes.
 func TestMatVecShapes(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, err := NewEvaluator(p, rng, sk, p.R.N)
 	if err != nil {
@@ -75,7 +76,7 @@ func TestMatVecShapes(t *testing.T) {
 // ciphertexts and rows aggregate across chunks (the paper's n >= m note).
 func TestMatVecColumnTiling(t *testing.T) {
 	p := testParams(t, 32)
-	rng := rand.New(rand.NewSource(2))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, _ := NewEvaluator(p, rng, sk, p.R.N)
 
@@ -103,7 +104,7 @@ func TestMatVecColumnTiling(t *testing.T) {
 // TestMatVecRowTiling covers m > N: multiple packed output ciphertexts.
 func TestMatVecRowTiling(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, _ := NewEvaluator(p, rng, sk, p.R.N)
 
@@ -131,7 +132,7 @@ func TestMatVecRowTiling(t *testing.T) {
 // public key.
 func TestMatVecPublicKeyPath(t *testing.T) {
 	p := testParams(t, 32)
-	rng := rand.New(rand.NewSource(4))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	pk := p.PublicKeyGen(rng, sk)
 	ev, _ := NewEvaluator(p, rng, sk, p.R.N)
@@ -154,7 +155,7 @@ func TestMatVecPublicKeyPath(t *testing.T) {
 
 func TestMatVecValidation(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(5))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, _ := NewEvaluator(p, rng, sk, p.R.N)
 	ctV := EncryptVector(p, rng, sk, make([]uint64, 16))
@@ -182,7 +183,7 @@ func TestMatVecValidation(t *testing.T) {
 // larger tiles rather than mis-pack.
 func TestMatVecKeyCoverage(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(6))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, err := NewEvaluator(p, rng, sk, 4)
 	if err != nil {
@@ -217,7 +218,7 @@ func TestChamProductionDegree(t *testing.T) {
 		t.Skip("production-degree HMVP is slow")
 	}
 	p := testParams(t, 4096)
-	rng := rand.New(rand.NewSource(7))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	const m = 16 // keep runtime reasonable; padding exercises packing
 	ev, err := NewEvaluator(p, rng, sk, m)
@@ -244,7 +245,7 @@ func TestChamProductionDegree(t *testing.T) {
 // independent MatVec calls on every vector.
 func TestMatVecMulti(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(8))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, _ := NewEvaluator(p, rng, sk, 8)
 

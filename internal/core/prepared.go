@@ -157,6 +157,15 @@ func (pm *PreparedMatrix) ApplyInto(res *Result, ctV []*rlwe.Ciphertext) error {
 	if len(res.Packed) != len(pm.tiles) {
 		return fmt.Errorf("core: result holds %d tiles, want %d", len(res.Packed), len(pm.tiles))
 	}
+	for ti, ct := range res.Packed {
+		if ct == nil || ct.B == nil || ct.A == nil {
+			return fmt.Errorf("core: result tile %d is nil; allocate with NewResult", ti)
+		}
+		if ct.B.Levels() != e.P.NormalLevels || ct.A.Levels() != e.P.NormalLevels ||
+			len(ct.B.Coeffs[0]) != e.P.R.N || len(ct.A.Coeffs[0]) != e.P.R.N {
+			return fmt.Errorf("core: result tile %d has the wrong shape; allocate with NewResult", ti)
+		}
+	}
 	e.ensureInvN()
 	sc := e.getApplyScratch(pm.chunks, pm.maxPad)
 	defer e.putApplyScratch(sc)

@@ -1,11 +1,11 @@
 package core
 
 import (
-	"math/rand"
 	"runtime"
 	"testing"
 
 	"cham/internal/rlwe"
+	"cham/internal/testutil"
 )
 
 // ctEqual compares two ciphertexts coefficient for coefficient.
@@ -28,7 +28,7 @@ func ctEqual(a, b *rlwe.Ciphertext) bool {
 // evaluation and full parallelism.
 func TestMatVecWorkerDeterminism(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(11))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, err := NewEvaluator(p, rng, sk, p.R.N)
 	if err != nil {
@@ -69,7 +69,7 @@ func TestMatVecWorkerDeterminism(t *testing.T) {
 // Apply calls (exercising the pooled scratch) must stay stable.
 func TestPreparedMatchesMatVec(t *testing.T) {
 	p := testParams(t, 32)
-	rng := rand.New(rand.NewSource(12))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, err := NewEvaluator(p, rng, sk, p.R.N)
 	if err != nil {
@@ -121,7 +121,7 @@ func TestPreparedMatchesMatVec(t *testing.T) {
 // TestPreparedValidation: Apply-side error paths.
 func TestPreparedValidation(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(13))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ev, err := NewEvaluator(p, rng, sk, 4)
 	if err != nil {
@@ -151,5 +151,69 @@ func TestPreparedValidation(t *testing.T) {
 	bad := []*rlwe.Ciphertext{p.Encrypt(rng, sk, p.NewPlaintext(), p.NormalLevels)}
 	if _, err := pm.Apply(bad); err == nil {
 		t.Error("normal-basis vector ciphertext accepted")
+	}
+}
+
+// TestPreparedMisuse: every wrong way to hold the ApplyInto/evaluator API
+// must come back as an error, never a panic.
+func TestPreparedMisuse(t *testing.T) {
+	p := testParams(t, 16)
+	rng := testutil.NewRand(t)
+	sk := p.KeyGen(rng)
+
+	if _, err := NewEvaluator(p, rng, sk, 0); err == nil {
+		t.Error("NewEvaluator accepted maxRows=0")
+	}
+	if _, err := NewEvaluator(p, rng, sk, -3); err == nil {
+		t.Error("NewEvaluator accepted negative maxRows")
+	}
+
+	ev, err := NewEvaluator(p, rng, sk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ev.Prepare(randomMatrix(rng, 4, 16, p.T.Q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctV := EncryptVector(p, rng, sk, randomVector(rng, 16, p.T.Q))
+
+	// Results that did not come from NewResult must be rejected by shape.
+	if err := pm.ApplyInto(&Result{}, ctV); err == nil {
+		t.Error("ApplyInto accepted an empty Result")
+	}
+	if err := pm.ApplyInto(&Result{Packed: []*rlwe.Ciphertext{nil}}, ctV); err == nil {
+		t.Error("ApplyInto accepted a nil result tile")
+	}
+	short := &Result{Packed: []*rlwe.Ciphertext{{B: p.R.NewPoly(1), A: p.R.NewPoly(1)}}}
+	if err := pm.ApplyInto(short, ctV); err == nil {
+		t.Error("ApplyInto accepted a result tile with too few limbs")
+	}
+	tiny := &Result{Packed: []*rlwe.Ciphertext{
+		{B: p.R.NewPoly(p.NormalLevels), A: p.R.NewPoly(p.NormalLevels)},
+	}}
+	tiny.Packed[0].B.Coeffs[0] = tiny.Packed[0].B.Coeffs[0][:4]
+	if err := pm.ApplyInto(tiny, ctV); err == nil {
+		t.Error("ApplyInto accepted a result tile with the wrong ring degree")
+	}
+	// A well-shaped Result still works after all the rejections (the
+	// validation must be side-effect free).
+	if err := pm.ApplyInto(pm.NewResult(), ctV); err != nil {
+		t.Errorf("valid ApplyInto failed after misuse attempts: %v", err)
+	}
+
+	// MatVec / MatVecMulti argument errors.
+	if _, err := ev.MatVec([][]uint64{{1, 2}, {3}}, ctV); err == nil {
+		t.Error("MatVec accepted a ragged matrix")
+	}
+	if _, err := ev.MatVec(randomMatrix(rng, 2, 16, p.T.Q), nil); err == nil {
+		t.Error("MatVec accepted a missing vector")
+	}
+	if _, err := ev.MatVecMulti(randomMatrix(rng, 2, 16, p.T.Q), nil); err == nil {
+		t.Error("MatVecMulti accepted zero vectors")
+	}
+	if _, err := ev.MatVecMulti(randomMatrix(rng, 2, 16, p.T.Q),
+		[][]*rlwe.Ciphertext{ctV, append(ctV, ctV...)}); err == nil {
+		t.Error("MatVecMulti accepted a chunk-count mismatch")
 	}
 }

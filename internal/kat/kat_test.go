@@ -1,0 +1,35 @@
+package kat
+
+import (
+	"testing"
+)
+
+// TestGoldenKATs pins the numerical pipeline: regenerating every KAT from
+// its fixed seeds must reproduce the files under testdata/ byte for byte.
+func TestGoldenKATs(t *testing.T) {
+	if err := Verify("testdata"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateDeterministic guards the KAT generator itself: two
+// back-to-back generations must be identical, or the golden files could
+// never be stable.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("file sets differ: %d vs %d", len(a), len(b))
+	}
+	for name := range a {
+		if string(a[name]) != string(b[name]) {
+			t.Errorf("%s: generation is not deterministic", name)
+		}
+	}
+}

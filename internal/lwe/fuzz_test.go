@@ -1,0 +1,81 @@
+package lwe
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cham/internal/bfv"
+	"cham/internal/rlwe"
+)
+
+// Shared fixture so the fuzz loop does not regenerate keys per input.
+var packFuzz struct {
+	once sync.Once
+	p    bfv.Params
+	sk   *rlwe.SecretKey
+	keys *PackingKeys
+	err  error
+}
+
+func packFuzzSetup() error {
+	packFuzz.once.Do(func() {
+		p, err := bfv.NewChamParams(32)
+		if err != nil {
+			packFuzz.err = err
+			return
+		}
+		rng := rand.New(rand.NewSource(42))
+		sk := p.KeyGen(rng)
+		keys, err := GenPackingKeys(p, rng, sk, 32)
+		if err != nil {
+			packFuzz.err = err
+			return
+		}
+		packFuzz.p, packFuzz.sk, packFuzz.keys = p, sk, keys
+	})
+	return packFuzz.err
+}
+
+// FuzzPackLWEs drives the extraction + packing tree with arbitrary group
+// sizes, extraction indices, and plaintexts: packing m extracted LWE
+// samples must decrypt to m·μ at every slot.
+func FuzzPackLWEs(f *testing.F) {
+	f.Add(uint8(2), int64(1))
+	f.Add(uint8(0), int64(7))
+	f.Add(uint8(5), int64(-3))
+	f.Fuzz(func(t *testing.T, mSel uint8, seed int64) {
+		if err := packFuzzSetup(); err != nil {
+			t.Fatal(err)
+		}
+		p, sk, keys := packFuzz.p, packFuzz.sk, packFuzz.keys
+		m := 1 << (int(mSel) % 6) // 1..32
+		rng := rand.New(rand.NewSource(seed))
+
+		vec := make([]uint64, p.R.N)
+		for i := range vec {
+			vec[i] = rng.Uint64() % p.T.Q
+		}
+		ct := p.Encrypt(rng, sk, p.EncodeVector(vec), p.NormalLevels)
+
+		cts := make([]*Ciphertext, m)
+		idx := make([]int, m)
+		for i := range cts {
+			idx[i] = rng.Intn(p.R.N)
+			cts[i] = Extract(p, ct, idx[i])
+		}
+		packed, err := PackLWEs(p, cts, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := p.Decrypt(packed, sk)
+		stride := SlotStride(p.R.N, m)
+		for i := 0; i < m; i++ {
+			want := uint64(m) % p.T.Q * vec[idx[i]] % p.T.Q
+			if got := pt.Coeffs[i*stride]; got != want {
+				t.Fatalf("m=%d seed=%d slot %d (coeff %d): decrypted %d, want %d·μ=%d",
+					m, seed, i, i*stride, got, m, want)
+			}
+		}
+	})
+}

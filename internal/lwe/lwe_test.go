@@ -1,10 +1,10 @@
 package lwe
 
 import (
-	"math/rand"
 	"testing"
 
 	"cham/internal/bfv"
+	"cham/internal/testutil"
 )
 
 func testParams(tb testing.TB, n int) bfv.Params {
@@ -20,7 +20,7 @@ func testParams(tb testing.TB, n int) bfv.Params {
 // yield an LWE ciphertext of exactly that plaintext coefficient.
 func TestExtractDecrypt(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	vals := make([]uint64, p.R.N)
@@ -42,7 +42,7 @@ func TestExtractDecrypt(t *testing.T) {
 
 func TestExtractGuards(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(2))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ct := p.Encrypt(rng, sk, p.NewPlaintext(), 2)
 	for _, idx := range []int{-1, p.R.N} {
@@ -69,7 +69,7 @@ func TestExtractGuards(t *testing.T) {
 // raw mask data.
 func TestAsRLWERoundTrip(t *testing.T) {
 	p := testParams(t, 32)
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ct := p.Encrypt(rng, sk, p.NewPlaintext(), 2)
 	l := Extract(p, ct, 0)
@@ -89,7 +89,7 @@ func TestAsRLWERoundTrip(t *testing.T) {
 
 func TestGenPackingKeysValidation(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(4))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	for _, m := range []int{0, 3, 12, 32} {
 		if _, err := GenPackingKeys(p, rng, sk, m); err == nil {
@@ -115,7 +115,7 @@ func TestGenPackingKeysValidation(t *testing.T) {
 // m·μ_i at stride-N/m slots.
 func TestPackLWEs(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(5))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	for _, m := range []int{1, 2, 4, 16, 64} {
@@ -155,7 +155,7 @@ func TestPackLWEs(t *testing.T) {
 // packing factor, which is how HMVP uses the pipeline.
 func TestPackLWEsWithInvPow2(t *testing.T) {
 	p := testParams(t, 32)
-	rng := rand.New(rand.NewSource(6))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	const m = 8
 	keys, _ := GenPackingKeys(p, rng, sk, m)
@@ -185,7 +185,7 @@ func TestPackLWEsWithInvPow2(t *testing.T) {
 
 func TestPackLWEsValidation(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(7))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	keys, _ := GenPackingKeys(p, rng, sk, 4)
 
@@ -219,7 +219,7 @@ func TestPackReductions(t *testing.T) {
 // ciphertext into contiguous slots.
 func TestPackCoefficients(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(8))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	keys, _ := GenPackingKeys(p, rng, sk, 8)
 

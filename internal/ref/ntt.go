@@ -1,0 +1,80 @@
+package ref
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Naive DFT-style reference transforms, written directly from the
+// definition the ntt package documents: the forward negacyclic NTT
+// evaluates the polynomial at the odd powers ψ^(2k+1) of the primitive
+// 2N-th root ψ and stores evaluation k at the bit-reversed index brv(k);
+// the inverse interpolates back, including the N^{-1} scaling. Everything
+// runs in O(N²) big-integer arithmetic.
+
+func brv(x uint, width int) uint {
+	return uint(bits.Reverse64(uint64(x)) >> (64 - width))
+}
+
+// ForwardDFT returns the negacyclic NTT of a modulo q with primitive 2N-th
+// root psi: out[brv(k)] = Σ_n a_n·ψ^{(2k+1)n} mod q.
+func ForwardDFT(a []uint64, q, psi uint64) []uint64 {
+	n := len(a)
+	logN := bits.Len(uint(n)) - 1
+	qB := new(big.Int).SetUint64(q)
+	psiB := new(big.Int).SetUint64(psi)
+	out := make([]uint64, n)
+	acc := new(big.Int)
+	term := new(big.Int)
+	pw := new(big.Int)
+	x := new(big.Int)
+	for k := 0; k < n; k++ {
+		// Evaluation point ψ^(2k+1).
+		x.Exp(psiB, new(big.Int).SetInt64(int64(2*k+1)), qB)
+		acc.SetInt64(0)
+		pw.SetInt64(1)
+		for i := 0; i < n; i++ {
+			term.SetUint64(a[i])
+			term.Mul(term, pw)
+			acc.Add(acc, term)
+			pw.Mul(pw, x)
+			pw.Mod(pw, qB)
+		}
+		acc.Mod(acc, qB)
+		out[brv(uint(k), logN)] = acc.Uint64()
+	}
+	return out
+}
+
+// InverseDFT inverts ForwardDFT: given â with â[brv(k)] = a(ψ^{2k+1}),
+// it recovers a_i = N^{-1}·Σ_k â[brv(k)]·ψ^{-(2k+1)i} mod q.
+func InverseDFT(ahat []uint64, q, psi uint64) []uint64 {
+	n := len(ahat)
+	logN := bits.Len(uint(n)) - 1
+	qB := new(big.Int).SetUint64(q)
+	psiB := new(big.Int).SetUint64(psi)
+	psiInv := new(big.Int).ModInverse(psiB, qB)
+	nInv := new(big.Int).ModInverse(new(big.Int).SetInt64(int64(n)), qB)
+	out := make([]uint64, n)
+	acc := new(big.Int)
+	term := new(big.Int)
+	pw := new(big.Int)
+	step := new(big.Int)
+	for i := 0; i < n; i++ {
+		// ψ^{-(2k+1)i} starts at ψ^{-i} for k=0 and advances by ψ^{-2i}.
+		pw.Exp(psiInv, new(big.Int).SetInt64(int64(i)), qB)
+		step.Exp(psiInv, new(big.Int).SetInt64(int64(2*i)), qB)
+		acc.SetInt64(0)
+		for k := 0; k < n; k++ {
+			term.SetUint64(ahat[brv(uint(k), logN)])
+			term.Mul(term, pw)
+			acc.Add(acc, term)
+			pw.Mul(pw, step)
+			pw.Mod(pw, qB)
+		}
+		acc.Mul(acc, nInv)
+		acc.Mod(acc, qB)
+		out[i] = acc.Uint64()
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package ref
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Reference EXTRACTLWES (Eq. 3) and the PACKTWOLWES / PACKLWES tree
+// (Alg. 2 / Alg. 3), mirroring the optimized lwe package operation for
+// operation in exact big-integer arithmetic.
+
+// ExtractAsRLWE extracts plaintext coefficient idx of ct as a slot
+// ciphertext in RLWE shape (the fused Extract∘AsRLWE of
+// lwe.ExtractAsRLWEInto): the A-part is ct.A·X^{-idx} and the B-part keeps
+// only b_idx at its constant coefficient.
+func ExtractAsRLWE(ct *Ciphertext, idx int) *Ciphertext {
+	var a *Poly
+	if idx == 0 {
+		a = ct.A.Copy()
+	} else {
+		a = ct.A.MulMonomial(-idx)
+	}
+	b := NewPoly(ct.B.N(), ct.B.Q)
+	b.Coeffs[0].Set(ct.B.Coeffs[idx])
+	return &Ciphertext{B: b, A: a}
+}
+
+// PackTwo merges two packed groups of size i (Alg. 2):
+//
+//	out = (ct_e + X^{N/2i}·ct_o) + φ_{2i+1}(ct_e - X^{N/2i}·ct_o),
+//
+// with the automorphism realised homomorphically through swk (the key for
+// k = 2i+1). moduli is the full basis; the ciphertexts live on the normal
+// prefix of normalLevels limbs.
+func PackTwo(i int, ctE, ctO *Ciphertext, swk *SwitchingKey, moduli []uint64, normalLevels int) *Ciphertext {
+	n := ctE.B.N()
+	z := n / (2 * i)
+	shifted := ctO.MulMonomial(z)
+	sum := ctE.Add(shifted)
+	diff := ctE.Sub(shifted)
+	return sum.Add(AutomorphCt(diff, 2*i+1, swk, moduli, normalLevels))
+}
+
+// PackCiphertexts folds m = len(cts) slot ciphertexts into one (Alg. 3),
+// using the same level order as the optimized iterative tree: level with
+// group size i merges pair (j, j+count/2). In exact arithmetic the result
+// is independent of evaluation order; using the same order keeps the
+// correspondence easy to audit. keys maps the automorphism index 2i+1 to
+// its reference switching key.
+func PackCiphertexts(cts []*Ciphertext, keys map[int]*SwitchingKey, moduli []uint64, normalLevels int) (*Ciphertext, error) {
+	m := len(cts)
+	if m < 1 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("ref: cannot pack %d ciphertexts (need a power of two)", m)
+	}
+	buf := make([]*Ciphertext, m)
+	copy(buf, cts)
+	count := m
+	for i := 1; i < m; i <<= 1 {
+		half := count / 2
+		swk := keys[2*i+1]
+		if swk == nil {
+			return nil, fmt.Errorf("ref: missing packing key for k=%d", 2*i+1)
+		}
+		for j := 0; j < half; j++ {
+			buf[j] = PackTwo(i, buf[j], buf[j+half], swk, moduli, normalLevels)
+		}
+		count = half
+	}
+	return buf[0], nil
+}
+
+// ZeroCiphertext returns an all-zero ciphertext modulo q.
+func ZeroCiphertext(n int, q *big.Int) *Ciphertext {
+	return &Ciphertext{B: NewPoly(n, q), A: NewPoly(n, q)}
+}

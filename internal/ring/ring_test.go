@@ -7,6 +7,7 @@ import (
 
 	"cham/internal/mod"
 	"cham/internal/ntt"
+	"cham/internal/testutil"
 )
 
 // chamRing returns the production ring {q0,q1,p} at a reduced degree for
@@ -57,7 +58,7 @@ func TestNewPolyBounds(t *testing.T) {
 
 func TestCopyEqualZero(t *testing.T) {
 	r := chamRing(t, 32)
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.NewRand(t)
 	p := randPoly(r, rng, 3)
 	q := p.Copy()
 	if !p.Equal(q) {
@@ -85,7 +86,7 @@ func TestCopyEqualZero(t *testing.T) {
 
 func TestAddSubNegBig(t *testing.T) {
 	r := chamRing(t, 32)
-	rng := rand.New(rand.NewSource(2))
+	rng := testutil.NewRand(t)
 	a, b := randPoly(r, rng, 3), randPoly(r, rng, 3)
 	q := r.Modulus(3)
 
@@ -135,7 +136,7 @@ func TestLevelAndDomainMismatchPanics(t *testing.T) {
 
 func TestMulPolyMatchesNaivePerLimb(t *testing.T) {
 	r := chamRing(t, 64)
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.NewRand(t)
 	a, b := randPoly(r, rng, 3), randPoly(r, rng, 3)
 	out := r.NewPoly(3)
 	r.MulPoly(out, a, b)
@@ -151,7 +152,7 @@ func TestMulPolyMatchesNaivePerLimb(t *testing.T) {
 
 func TestNTTRoundTripAndCG(t *testing.T) {
 	r := chamRing(t, 128)
-	rng := rand.New(rand.NewSource(4))
+	rng := testutil.NewRand(t)
 	a := randPoly(r, rng, 3)
 	b := a.Copy()
 	r.NTT(b)
@@ -195,7 +196,7 @@ func TestNTTDomainGuards(t *testing.T) {
 
 func TestMulScalarBig(t *testing.T) {
 	r := chamRing(t, 32)
-	rng := rand.New(rand.NewSource(5))
+	rng := testutil.NewRand(t)
 	a := randPoly(r, rng, 2)
 	c := new(big.Int).Lsh(big.NewInt(123456789), 30) // larger than any limb
 	out := r.NewPoly(2)
@@ -232,7 +233,7 @@ func TestSetCenteredAndToBigRoundTrip(t *testing.T) {
 
 func TestFromBigIntRoundTrip(t *testing.T) {
 	r := chamRing(t, 32)
-	rng := rand.New(rand.NewSource(6))
+	rng := testutil.NewRand(t)
 	q := r.Modulus(3)
 	half := new(big.Int).Rsh(q, 1)
 	coeffs := make([]*big.Int, r.N)
@@ -254,7 +255,7 @@ func TestFromBigIntRoundTrip(t *testing.T) {
 
 func TestSampling(t *testing.T) {
 	r := chamRing(t, 1024)
-	rng := rand.New(rand.NewSource(7))
+	rng := testutil.NewRand(t)
 
 	s := r.NewPoly(3)
 	r.TernaryPoly(rng, s)
@@ -303,7 +304,7 @@ func TestSampling(t *testing.T) {
 
 func TestModUpMatchesBigInt(t *testing.T) {
 	r := chamRing(t, 64)
-	rng := rand.New(rand.NewSource(8))
+	rng := testutil.NewRand(t)
 	for trial := 0; trial < 10; trial++ {
 		p := randPoly(r, rng, 2)
 		ext := r.ModUp(p)
@@ -334,7 +335,7 @@ func TestModUpMatchesBigInt(t *testing.T) {
 
 func TestModDownIsRoundedDivision(t *testing.T) {
 	r := chamRing(t, 64)
-	rng := rand.New(rand.NewSource(9))
+	rng := testutil.NewRand(t)
 	for trial := 0; trial < 10; trial++ {
 		p := randPoly(r, rng, 3)
 		down := r.ModDown(p)

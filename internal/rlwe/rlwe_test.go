@@ -7,6 +7,7 @@ import (
 
 	"cham/internal/mod"
 	"cham/internal/ring"
+	"cham/internal/testutil"
 )
 
 // testParams returns CHAM-moduli params at degree n.
@@ -55,7 +56,7 @@ func TestSpecialModuli(t *testing.T) {
 // be bounded by the noise distribution.
 func TestEncryptZeroPhaseIsSmall(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	for _, levels := range []int{2, 3} {
 		ct := p.EncryptZeroSym(rng, sk, levels)
@@ -76,7 +77,7 @@ func TestEncryptZeroPhaseIsSmall(t *testing.T) {
 // TestPhasePayload: adding a payload into b must surface in the phase.
 func TestPhasePayload(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(2))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ct := p.EncryptZeroSym(rng, sk, 2)
 
@@ -101,7 +102,7 @@ func TestPhasePayload(t *testing.T) {
 
 func TestAddSubHomomorphism(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	mk := func(seed int64) (*Ciphertext, []*big.Int) {
@@ -148,7 +149,7 @@ func TestAddSubHomomorphism(t *testing.T) {
 // phase is preserved up to small noise.
 func TestKeySwitchRoundTrip(t *testing.T) {
 	p := testParams(t, 256)
-	rng := rand.New(rand.NewSource(4))
+	rng := testutil.NewRand(t)
 	sk1 := p.KeyGen(rng)
 	sk2 := p.KeyGen(rng)
 
@@ -183,7 +184,7 @@ func TestKeySwitchRoundTrip(t *testing.T) {
 // polynomial exactly as ring.Automorph does.
 func TestAutomorphCt(t *testing.T) {
 	p := testParams(t, 256)
-	rng := rand.New(rand.NewSource(5))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	ct := p.EncryptZeroSym(rng, sk, 2)
@@ -210,7 +211,7 @@ func TestAutomorphCt(t *testing.T) {
 
 func TestKeySwitchGuards(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(6))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	swk := p.SwitchingKeyGen(rng, sk, sk.Value)
 
@@ -252,7 +253,7 @@ func TestKeySwitchGuards(t *testing.T) {
 // must, after Rescale, carry payload ≈ m.
 func TestRescaleDividesPayload(t *testing.T) {
 	p := testParams(t, 64)
-	rng := rand.New(rand.NewSource(7))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	ct := p.EncryptZeroSym(rng, sk, 3)
@@ -282,7 +283,7 @@ func TestRescaleDividesPayload(t *testing.T) {
 
 func TestCiphertextCopy(t *testing.T) {
 	p := testParams(t, 16)
-	rng := rand.New(rand.NewSource(8))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 	ct := p.EncryptZeroSym(rng, sk, 2)
 	cp := ct.Copy()
@@ -299,7 +300,7 @@ func TestCiphertextCopy(t *testing.T) {
 // an encryption of m·u (ring product), with noise scaled by |u|·N.
 func TestMulPlainNTT(t *testing.T) {
 	p := testParams(t, 256)
-	rng := rand.New(rand.NewSource(9))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	ct := p.EncryptZeroSym(rng, sk, 3)
@@ -358,7 +359,7 @@ func TestMultiSpecialLimbChain(t *testing.T) {
 	if len(p.SpecialModuli()) != 2 {
 		t.Fatalf("%d special limbs", len(p.SpecialModuli()))
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.NewRand(t)
 	sk := p.KeyGen(rng)
 
 	// Rescale: payload P·m over the full basis comes back as ≈ m.

@@ -64,6 +64,73 @@ func TestDescriptorValidation(t *testing.T) {
 	}
 }
 
+// TestDescriptorValidationEdges pins the exact accept/reject boundaries of
+// every validated field: the last aligned address inside device memory is
+// legal, one step past (or off alignment) is not, and the pack-tile
+// exponent caps at N=4096.
+func TestDescriptorValidationEdges(t *testing.T) {
+	ok := validDescriptor()
+	ok.ResultAddr = maxAddr - 64 // highest aligned in-range address
+	ok.PackRowsLog2 = 12
+	if _, err := ok.Words(); err != nil {
+		t.Errorf("boundary-valid descriptor rejected: %v", err)
+	}
+
+	rejects := map[string]func(*HMVPDescriptor){
+		"address one past the end":  func(d *HMVPDescriptor) { d.ResultAddr = maxAddr },
+		"aligned but out of range":  func(d *HMVPDescriptor) { d.KeyAddr = maxAddr + 64 },
+		"matrix addr misaligned":    func(d *HMVPDescriptor) { d.MatrixAddr += 8 },
+		"result addr misaligned":    func(d *HMVPDescriptor) { d.ResultAddr = 63 },
+		"pack tile above N":         func(d *HMVPDescriptor) { d.PackRowsLog2 = 255 },
+		"zero geometry both fields": func(d *HMVPDescriptor) { d.Rows, d.Cols = 0, 0 },
+	}
+	for name, corrupt := range rejects {
+		d := validDescriptor()
+		corrupt(d)
+		if _, err := d.Words(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Parse-side: every malformed word position must come back as an
+	// error, never a panic or a silently-wrong descriptor.
+	if _, err := ParseHMVPDescriptor(nil); err == nil {
+		t.Error("nil word slice accepted")
+	}
+	if _, err := ParseHMVPDescriptor(make([]uint64, 7)); err == nil {
+		t.Error("over-long descriptor accepted")
+	}
+	for word, val := range map[int]uint64{
+		1: maxAddr,          // matrix address out of range
+		2: 0x2000_0001,      // vector address misaligned
+		3: ^uint64(0) &^ 63, // key address aligned but out of range
+		4: maxAddr + 128,    // result address out of range
+		5: 13,               // pack tile 2^13 > N
+	} {
+		words, err := validDescriptor().Words()
+		if err != nil {
+			t.Fatal(err)
+		}
+		words[word] = val
+		if _, err := ParseHMVPDescriptor(words); err == nil {
+			t.Errorf("corrupted word %d (=%#x) accepted", word, val)
+		}
+	}
+
+	// A runtime must refuse malformed descriptors before touching the
+	// device.
+	dev := NewDevice(1, time.Millisecond, FaultPlan{})
+	rt, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badD := validDescriptor()
+	badD.PackRowsLog2 = 13
+	if err := rt.RunHMVP(badD); err == nil {
+		t.Error("runtime executed an out-of-range tile shape")
+	}
+}
+
 // TestRunHMVPEndToEnd drives a descriptor through the full
 // runtime/driver/device stack, including a fault-recovery pass.
 func TestRunHMVPEndToEnd(t *testing.T) {

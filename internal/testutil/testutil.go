@@ -1,0 +1,43 @@
+// Package testutil centralises the randomness plumbing for the repo's
+// randomized tests: every test draws from an explicit seeded *rand.Rand
+// whose seed is logged through t.Logf, so any failure is reproducible by
+// re-running with CHAM_TEST_SEED set to the logged value.
+package testutil
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// SeedEnv is the environment variable that overrides every test seed.
+const SeedEnv = "CHAM_TEST_SEED"
+
+// Seed returns the deterministic seed for tb: the value of CHAM_TEST_SEED
+// when set, otherwise a stable hash of the test name (so each test gets
+// its own stream but reruns are identical). The seed is logged so a
+// failing run always prints how to reproduce it.
+func Seed(tb testing.TB) int64 {
+	tb.Helper()
+	if v := os.Getenv(SeedEnv); v != "" {
+		s, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			tb.Fatalf("testutil: bad %s=%q: %v", SeedEnv, v, err)
+		}
+		tb.Logf("testutil: seed %d (from %s)", s, SeedEnv)
+		return s
+	}
+	h := fnv.New64a()
+	h.Write([]byte(tb.Name()))
+	s := int64(h.Sum64() & 0x7fffffffffffffff)
+	tb.Logf("testutil: seed %d (rerun with %s=%d)", s, SeedEnv, s)
+	return s
+}
+
+// NewRand returns a reproducible *rand.Rand for tb, seeded via Seed.
+func NewRand(tb testing.TB) *rand.Rand {
+	tb.Helper()
+	return rand.New(rand.NewSource(Seed(tb)))
+}

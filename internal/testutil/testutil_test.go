@@ -1,0 +1,72 @@
+package testutil
+
+import (
+	"testing"
+)
+
+// TestSeedStable: without an override, the seed is a pure function of the
+// test name, so reruns reproduce the same stream.
+func TestSeedStable(t *testing.T) {
+	if v := Seed(t); v != Seed(t) {
+		t.Fatal("seed changed between calls in one test")
+	}
+	a := NewRand(t)
+	b := NewRand(t)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("two rands from the same test diverged")
+		}
+	}
+}
+
+// TestSeedEnvOverride: CHAM_TEST_SEED wins over the name-derived seed.
+func TestSeedEnvOverride(t *testing.T) {
+	t.Setenv(SeedEnv, "12345")
+	if v := Seed(t); v != 12345 {
+		t.Fatalf("Seed = %d with %s=12345", v, SeedEnv)
+	}
+	t.Setenv(SeedEnv, "not-a-number")
+	fake := &failingTB{TB: t}
+	func() {
+		defer func() { recover() }()
+		Seed(fake)
+	}()
+	if !fake.failed {
+		t.Error("malformed seed override accepted")
+	}
+}
+
+// failingTB records Fatalf instead of aborting the real test.
+type failingTB struct {
+	testing.TB
+	failed bool
+}
+
+func (f *failingTB) Fatalf(string, ...any) { f.failed = true; panic("fatal") }
+func (f *failingTB) Helper()               {}
+
+// TestShapesCoverEdges: the generated geometries must include the cases
+// the tiling logic branches on.
+func TestShapesCoverEdges(t *testing.T) {
+	rng := NewRand(t)
+	const n = 64
+	shapes := HMVPShapes(rng, n)
+	if len(shapes) < 5 {
+		t.Fatalf("only %d shapes", len(shapes))
+	}
+	var nonPow2, multiChunk bool
+	for _, s := range shapes {
+		if s.Rows&(s.Rows-1) != 0 {
+			nonPow2 = true
+		}
+		if s.Chunks(n) >= 2 {
+			multiChunk = true
+		}
+		if s.Rows < 1 || s.Cols < 1 {
+			t.Fatalf("degenerate shape %+v", s)
+		}
+	}
+	if !nonPow2 || !multiChunk {
+		t.Fatalf("shapes miss required edge cases: %+v", shapes)
+	}
+}
