@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench tier2 fuzz vet-strict
+.PHONY: check vet build test race bench tier2 fuzz vet-strict obs-race metrics-smoke
 
 # Tier-1 gate: everything a PR must keep green.
 check: vet build race
@@ -19,9 +19,14 @@ race:
 	$(GO) test -race ./...
 
 # Tier-2 gate: the race detector across the tree, a $(FUZZTIME) smoke on
-# every fuzz target, and the stricter vet analyzers the concurrent hot
-# path depends on. Benchmarks only run on a tree that has passed it.
-tier2: race fuzz vet-strict
+# every fuzz target, the stricter vet analyzers the concurrent hot
+# path depends on, and the telemetry layer under the race detector.
+# Benchmarks only run on a tree that has passed it.
+tier2: race fuzz vet-strict obs-race
+
+obs-race:
+	$(GO) vet ./internal/obs
+	$(GO) test -race -count=1 ./internal/obs
 
 vet-strict:
 	$(GO) vet -copylocks -loopclosure ./...
@@ -33,7 +38,23 @@ fuzz:
 	$(GO) test ./internal/lwe -run '^$$' -fuzz '^FuzzPackLWEs$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHMVPDifferential$$' -fuzztime $(FUZZTIME)
 
+# End-to-end check of the live telemetry endpoint: boot chamsim with
+# -metrics, scrape it, and require the stage-latency family.
+metrics-smoke:
+	$(GO) build -o /tmp/chamsim-smoke ./cmd/chamsim
+	/tmp/chamsim-smoke -metrics 127.0.0.1:19099 -hold -repeat 2 hmvp 16 512 256 & \
+	pid=$$!; \
+	ok=1; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:19099/metrics > /tmp/chamsim-smoke.metrics 2>/dev/null \
+			&& grep -q cham_hmvp_stage_seconds /tmp/chamsim-smoke.metrics; then ok=0; break; fi; \
+		sleep 0.2; \
+	done; \
+	kill $$pid 2>/dev/null; \
+	if [ $$ok -ne 0 ]; then echo "metrics-smoke: no cham_hmvp_stage_seconds in scrape"; exit 1; fi; \
+	echo "metrics-smoke: ok ($$(grep -c '^cham_' /tmp/chamsim-smoke.metrics) series scraped)"
+
 # Hot-path benchmarks + the machine-readable BENCH_hmvp.json report.
-bench: tier2
+bench: tier2 metrics-smoke
 	$(GO) test -run xxx -bench 'Software|PreparedMatVec' -benchmem .
 	$(GO) run ./cmd/chambench

@@ -21,6 +21,8 @@ import (
 	"testing"
 
 	"cham"
+	"cham/internal/obs"
+	_ "cham/internal/runtime" // RAS metric families appear (at zero) in the snapshot
 )
 
 type result struct {
@@ -37,6 +39,10 @@ type result struct {
 type report struct {
 	Benchmarks []result           `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"prepared_apply_speedup"`
+	// Telemetry is the obs registry snapshot from one instrumented apply
+	// per shape, run after the timed benchmarks (which execute with
+	// telemetry off so the numbers stay undisturbed).
+	Telemetry []obs.MetricSnapshot `json:"telemetry"`
 }
 
 // bench runs f under the testing harness and converts the outcome.
@@ -132,6 +138,20 @@ func runShape(ringN, m, cols int, workers int) ([]result, float64, error) {
 			}
 		}
 	})
+	// One instrumented pass after the timed runs populates the stage
+	// histograms for the report's telemetry section; MatVec covers all
+	// nine stages (encode/lift/ntt run on the fly), Apply the prepared
+	// path's end-to-end view.
+	obs.SetEnabled(true)
+	_, errMV := ev.MatVec(A, ctV)
+	_, errAp := pm.Apply(ctV)
+	obs.SetEnabled(false)
+	if errMV != nil {
+		return nil, 0, errMV
+	}
+	if errAp != nil {
+		return nil, 0, errAp
+	}
 	return []result{matvec, cold, warm}, matvec.NsPerOp / warm.NsPerOp, nil
 }
 
@@ -156,6 +176,9 @@ func main() {
 		}
 		fmt.Printf("  warm Apply speedup over MatVec at N=%d: %.2fx\n", ringN, speedup)
 	}
+	rep.Telemetry = obs.Default().Snapshot()
+	fmt.Println("\ntelemetry (one instrumented apply per shape):")
+	obs.Default().WriteTo(os.Stdout)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chambench:", err)

@@ -12,6 +12,11 @@
 // The -workers flag bounds the evaluator's parallelism (row dot products
 // and packing-tree merges); 0 means GOMAXPROCS. Results are bit-identical
 // for any worker count.
+//
+// With -metrics ADDR the process enables telemetry and serves Prometheus
+// text on /metrics plus the pprof handlers on /debug/pprof/; -hold keeps
+// the endpoint up after the workload, -repeat N feeds the histograms
+// with N applies (watch live with chamtop).
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 
 	"cham"
 	"cham/internal/fpga"
+	"cham/internal/noise"
 )
 
 var workers = flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
@@ -93,6 +99,21 @@ func runHMVP(args []string) int {
 	}
 	ctV := cham.EncryptVector(params, rng, sk, vector)
 
+	// With -metrics, mirror each apply onto a simulated card (per-engine
+	// busy fractions, RAS counters) and publish the noise-budget gauges.
+	var mirror *mirrorRuntime
+	if *metricsAddr != "" {
+		mPad := 1
+		for mPad < rows {
+			mPad <<= 1
+		}
+		if mirror, err = newMirrorRuntime(m, cols, mPad); err != nil {
+			fmt.Fprintln(os.Stderr, "chamsim:", err)
+			return 1
+		}
+		noise.New(params).PublishBudget(mPad)
+	}
+
 	start := time.Now()
 	res, err := ev.MatVec(matrix, ctV)
 	if err != nil {
@@ -100,6 +121,9 @@ func runHMVP(args []string) int {
 		return 1
 	}
 	elapsed := time.Since(start)
+	if mirror != nil {
+		mirror.step()
+	}
 
 	// Same product through the prepared-matrix path: the per-matrix
 	// encode/lift/NTT work is hoisted into Prepare, Apply pays only the
@@ -118,6 +142,19 @@ func runHMVP(args []string) int {
 		return 1
 	}
 	applyTime := time.Since(applyStart)
+	if mirror != nil {
+		mirror.step()
+	}
+	// Extra applies keep the stage histograms and the endpoint busy.
+	for extra := 1; extra < *repeat; extra++ {
+		if _, err := pm.Apply(ctV); err != nil {
+			fmt.Fprintln(os.Stderr, "chamsim:", err)
+			return 1
+		}
+		if mirror != nil {
+			mirror.step()
+		}
+	}
 
 	got := cham.DecryptResult(params, res, sk)
 	got2 := cham.DecryptResult(params, res2, sk)
@@ -127,6 +164,22 @@ func runHMVP(args []string) int {
 			fmt.Fprintf(os.Stderr, "chamsim: VERIFICATION FAILED at row %d\n", i)
 			return 1
 		}
+	}
+	if *metricsAddr != "" {
+		// The simulator holds the secret key, so the measured output
+		// noise gauge can be published alongside the analytic ones.
+		est := noise.New(params)
+		measured := 0.0
+		for ti, ct := range res2.Packed {
+			lo, hi := ti*res2.N, (ti+1)*res2.N
+			if hi > m {
+				hi = m
+			}
+			if b := est.MeasureTile(ct, sk, want[lo:hi], res2.TileRows(ti)); b > measured {
+				measured = b
+			}
+		}
+		noise.PublishMeasured(measured)
 	}
 	acc := cham.DefaultAccelerator()
 	fmt.Printf("HMVP %dx%d at N=%d: verified correct\n", m, cols, ringN)
@@ -145,11 +198,17 @@ func runHMVP(args []string) int {
 func main() {
 	flag.Parse()
 	args := flag.Args()
+	if err := startMetrics(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if len(args) == 1 && args[0] == "verify" {
 		os.Exit(verify())
 	}
 	if len(args) >= 1 && args[0] == "hmvp" {
-		os.Exit(runHMVP(args[1:]))
+		code := runHMVP(args[1:])
+		holdIfRequested()
+		os.Exit(code)
 	}
 	if len(args) == 0 {
 		fmt.Println("chamsim — CHAM (DAC'23) experiment reproduction")
@@ -176,6 +235,7 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+	holdIfRequested()
 	os.Exit(code)
 }
 

@@ -1,0 +1,113 @@
+package main
+
+// Telemetry endpoint: -metrics serves the obs registry in Prometheus
+// text format plus the stdlib pprof handlers, so a running experiment
+// can be watched live (chamtop) or profiled (go tool pprof).
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"time"
+
+	"cham/internal/obs"
+	rt "cham/internal/runtime"
+)
+
+var (
+	metricsAddr = flag.String("metrics", "",
+		"serve /metrics and /debug/pprof on this address (e.g. :9090); enables telemetry")
+	hold = flag.Bool("hold", false,
+		"with -metrics, keep serving after the command finishes until interrupted")
+	repeat = flag.Int("repeat", 1,
+		"run the hmvp applies this many times (feeds the latency histograms)")
+)
+
+// startMetrics enables telemetry and launches the HTTP endpoint when
+// -metrics is set. Returns immediately; the server runs for the life of
+// the process.
+func startMetrics() error {
+	if *metricsAddr == "" {
+		return nil
+	}
+	obs.SetEnabled(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default().WriteTo(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", *metricsAddr)
+	if err != nil {
+		return fmt.Errorf("chamsim: metrics listener: %w", err)
+	}
+	fmt.Printf("metrics: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "chamsim: metrics server:", err)
+		}
+	}()
+	return nil
+}
+
+// holdIfRequested blocks until SIGINT when -metrics -hold are both set,
+// keeping the endpoint scrapeable after the workload completes.
+func holdIfRequested() {
+	if *metricsAddr == "" || !*hold {
+		return
+	}
+	fmt.Println("metrics: holding endpoint open; interrupt to exit")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+// mirrorRuntime models the driver-side view of the software applies: a
+// simulated two-engine card executes one HMVP descriptor per apply, with
+// a mild fault plan so the RAS counters (replays, recovered writes)
+// exercise their real paths. Health checks feed the temperature,
+// liveness and heartbeat-age gauges.
+type mirrorRuntime struct {
+	rt *rt.Runtime
+	d  rt.HMVPDescriptor
+}
+
+func newMirrorRuntime(m, cols, mPad int) (*mirrorRuntime, error) {
+	dev := rt.NewDevice(2, 200*time.Microsecond, rt.FaultPlan{
+		CorruptWriteEvery: 37,
+		FailJobEvery:      23,
+	})
+	r, err := rt.New(dev)
+	if err != nil {
+		return nil, err
+	}
+	log2 := uint8(0)
+	for v := 1; v < mPad; v <<= 1 {
+		log2++
+	}
+	return &mirrorRuntime{
+		rt: r,
+		d: rt.HMVPDescriptor{
+			Rows: uint32(m), Cols: uint32(cols),
+			MatrixAddr: 0x1000_0000, VectorAddr: 0x2000_0000,
+			KeyAddr: 0x3000_0000, ResultAddr: 0x4000_0000,
+			PackRowsLog2: log2,
+		},
+	}, nil
+}
+
+// step mirrors one software apply onto the card and samples health.
+func (mr *mirrorRuntime) step() {
+	if err := mr.rt.RunHMVP(&mr.d); err != nil {
+		fmt.Fprintln(os.Stderr, "chamsim: runtime mirror:", err)
+	}
+	mr.rt.HealthCheck()
+}

@@ -9,14 +9,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 	"time"
 
+	"cham/internal/obs"
 	chamrt "cham/internal/runtime"
 )
 
 func main() {
 	engines := flag.Int("workers", 2, "simulated accelerator engines (parallel job lanes)")
 	flag.Parse()
+	obs.SetEnabled(true) // the RAS counters below also land in the metrics registry
 	faults := chamrt.FaultPlan{
 		CorruptWriteEvery: 9,  // every 9th register write flips a bit
 		HangAfterJobs:     6,  // the card wedges after job 6
@@ -48,4 +52,29 @@ func main() {
 		rt.Replays(), rt.Resets(), rt.Driver().RecoveredWrites())
 	fmt.Printf("health: alive=%v temp=%.1fC jobsDone=%d\n",
 		sample.Alive, sample.TempC, sample.JobsDone)
+
+	// The same story in Prometheus text, as chamsim -metrics would
+	// serve it: just the runtime families.
+	fmt.Println("\nruntime metric families:")
+	for _, m := range obs.Default().Snapshot() {
+		if !strings.HasPrefix(m.Name, "cham_runtime_") {
+			continue
+		}
+		if m.Type == "histogram" {
+			fmt.Fprintf(os.Stdout, "  %s%s: %d events, %v s total\n", m.Name, labelsOf(m), m.Count, m.Sum)
+		} else {
+			fmt.Fprintf(os.Stdout, "  %s%s = %v\n", m.Name, labelsOf(m), m.Value)
+		}
+	}
+}
+
+func labelsOf(m obs.MetricSnapshot) string {
+	if len(m.Labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(m.Labels))
+	for k, v := range m.Labels {
+		parts = append(parts, k+"="+v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
 }

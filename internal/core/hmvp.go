@@ -18,9 +18,11 @@ import (
 	"math/bits"
 	"math/rand"
 	"sync"
+	"time"
 
 	"cham/internal/bfv"
 	"cham/internal/lwe"
+	"cham/internal/obs"
 	"cham/internal/rlwe"
 )
 
@@ -128,23 +130,41 @@ func (res *Result) TileRows(i int) int {
 // encodes and forward-transforms each row on the fly; when the same matrix
 // multiplies several vectors, Prepare once and Apply instead.
 func (e *Evaluator) MatVec(A [][]uint64, ctV []*rlwe.Ciphertext) (*Result, error) {
+	on := obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
+	res, err := e.matVec(A, ctV)
+	if err != nil {
+		return nil, countErr(err)
+	}
+	if on {
+		mApplyMatVec.Observe(time.Since(t0).Seconds())
+		mAppliesMatVec.Inc()
+		mRows.Add(uint64(res.M))
+	}
+	return res, nil
+}
+
+func (e *Evaluator) matVec(A [][]uint64, ctV []*rlwe.Ciphertext) (*Result, error) {
 	p := e.P
 	n := p.R.N
 	m := len(A)
 	if m == 0 {
-		return nil, fmt.Errorf("core: empty matrix")
+		return nil, fmt.Errorf("%w (no rows)", ErrEmptyMatrix)
 	}
 	cols := len(A[0])
 	if cols == 0 {
-		return nil, fmt.Errorf("core: matrix has no columns")
+		return nil, fmt.Errorf("%w (no columns)", ErrEmptyMatrix)
 	}
 	chunks := (cols + n - 1) / n
 	if chunks != len(ctV) {
-		return nil, fmt.Errorf("core: matrix has %d column chunks but vector has %d ciphertexts", chunks, len(ctV))
+		return nil, fmt.Errorf("%w: matrix has %d column chunks but vector has %d ciphertexts", ErrVectorLength, chunks, len(ctV))
 	}
 	for i := range A {
 		if len(A[i]) != cols {
-			return nil, fmt.Errorf("core: ragged matrix row %d", i)
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrRaggedMatrix, i, len(A[i]), cols)
 		}
 	}
 	maxPad := 0
@@ -155,7 +175,7 @@ func (e *Evaluator) MatVec(A [][]uint64, ctV []*rlwe.Ciphertext) (*Result, error
 		}
 		mPad := nextPow2(rows)
 		if mPad > e.Keys.M {
-			return nil, fmt.Errorf("core: tile of %d rows exceeds packing keys (max %d)", mPad, e.Keys.M)
+			return nil, fmt.Errorf("%w: tile of %d rows (keys cover %d)", ErrTileTooLarge, mPad, e.Keys.M)
 		}
 		if mPad > maxPad {
 			maxPad = mPad
@@ -223,7 +243,7 @@ func PlainMatVec(p bfv.Params, A [][]uint64, v []uint64) []uint64 {
 // with the same column count.
 func (e *Evaluator) MatVecMulti(A [][]uint64, vecs [][]*rlwe.Ciphertext) ([]*Result, error) {
 	if len(vecs) == 0 {
-		return nil, fmt.Errorf("core: no vectors")
+		return nil, countErr(fmt.Errorf("%w: no vectors", ErrVectorLength))
 	}
 	pm, err := e.Prepare(A)
 	if err != nil {
@@ -231,7 +251,7 @@ func (e *Evaluator) MatVecMulti(A [][]uint64, vecs [][]*rlwe.Ciphertext) ([]*Res
 	}
 	for k, v := range vecs {
 		if len(v) != pm.chunks {
-			return nil, fmt.Errorf("core: vector %d has %d chunks, want %d", k, len(v), pm.chunks)
+			return nil, countErr(fmt.Errorf("%w: vector %d has %d chunks, want %d", ErrVectorLength, k, len(v), pm.chunks))
 		}
 	}
 	out := make([]*Result, len(vecs))

@@ -17,9 +17,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cham/internal/bfv"
 	"cham/internal/lwe"
+	"cham/internal/obs"
 	"cham/internal/ring"
 	"cham/internal/rlwe"
 )
@@ -60,19 +62,28 @@ func (pm *PreparedMatrix) Tiles() int { return len(pm.tiles) }
 // (the one-time stages 1–2 work of every future apply). The same shape
 // rules as MatVec apply.
 func (e *Evaluator) Prepare(A [][]uint64) (*PreparedMatrix, error) {
+	sp := obs.StartSpan(mPrepareSec)
+	pm, err := e.prepare(A)
+	if err == nil {
+		sp.End()
+	}
+	return pm, countErr(err)
+}
+
+func (e *Evaluator) prepare(A [][]uint64) (*PreparedMatrix, error) {
 	p := e.P
 	n := p.R.N
 	m := len(A)
 	if m == 0 {
-		return nil, fmt.Errorf("core: empty matrix")
+		return nil, fmt.Errorf("%w (no rows)", ErrEmptyMatrix)
 	}
 	cols := len(A[0])
 	if cols == 0 {
-		return nil, fmt.Errorf("core: matrix has no columns")
+		return nil, fmt.Errorf("%w (no columns)", ErrEmptyMatrix)
 	}
 	for i := range A {
 		if len(A[i]) != cols {
-			return nil, fmt.Errorf("core: ragged matrix row %d", i)
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrRaggedMatrix, i, len(A[i]), cols)
 		}
 	}
 	chunks := (cols + n - 1) / n
@@ -85,13 +96,15 @@ func (e *Evaluator) Prepare(A [][]uint64) (*PreparedMatrix, error) {
 		}
 		mPad := nextPow2(rows)
 		if mPad > e.Keys.M {
-			return nil, fmt.Errorf("core: tile of %d rows exceeds packing keys (max %d)", mPad, e.Keys.M)
+			return nil, fmt.Errorf("%w: tile of %d rows (keys cover %d)", ErrTileTooLarge, mPad, e.Keys.M)
 		}
 		if mPad > pm.maxPad {
 			pm.maxPad = mPad
 		}
 	}
 	full := p.R.Levels()
+	var clk obs.StageClock
+	clk.Start()
 	for base := 0; base < m; base += n {
 		rows := m - base
 		if rows > n {
@@ -113,16 +126,22 @@ func (e *Evaluator) Prepare(A [][]uint64) (*PreparedMatrix, error) {
 				if hi > cols {
 					hi = cols
 				}
-				pt := p.Lift(p.EncodeRow(A[base+i][lo:hi], scale), full)
+				enc := p.EncodeRow(A[base+i][lo:hi], scale)
+				clk.Mark(obs.StageEncode)
+				pt := p.Lift(enc, full)
+				clk.Mark(obs.StageLift)
 				p.R.NTT(pt)
+				clk.Mark(obs.StageNTT)
 				rp[c] = pt
 				rs[c] = p.R.ShoupPrecompPoly(pt)
+				clk.Skip() // Shoup tables are bookkeeping, not a pipeline stage
 			}
 			t.rowNTT[i] = rp
 			t.rowShoup[i] = rs
 		}
 		pm.tiles = append(pm.tiles, t)
 	}
+	clk.Flush()
 	return pm, nil
 }
 
@@ -150,20 +169,37 @@ func (pm *PreparedMatrix) Apply(ctV []*rlwe.Ciphertext) (*Result, error) {
 // All intermediates come from pooled scratch: a warm call does not touch
 // the heap.
 func (pm *PreparedMatrix) ApplyInto(res *Result, ctV []*rlwe.Ciphertext) error {
+	on := obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
+	if err := pm.applyInto(res, ctV); err != nil {
+		return countErr(err)
+	}
+	if on {
+		mApplyPrepared.Observe(time.Since(t0).Seconds())
+		mAppliesPrepared.Inc()
+		mRows.Add(uint64(pm.m))
+	}
+	return nil
+}
+
+func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext) error {
 	e := pm.ev
 	if len(ctV) != pm.chunks {
-		return fmt.Errorf("core: matrix has %d column chunks but vector has %d ciphertexts", pm.chunks, len(ctV))
+		return fmt.Errorf("%w: matrix has %d column chunks but vector has %d ciphertexts", ErrVectorLength, pm.chunks, len(ctV))
 	}
 	if len(res.Packed) != len(pm.tiles) {
-		return fmt.Errorf("core: result holds %d tiles, want %d", len(res.Packed), len(pm.tiles))
+		return fmt.Errorf("%w: result holds %d tiles, want %d", ErrResultShape, len(res.Packed), len(pm.tiles))
 	}
 	for ti, ct := range res.Packed {
 		if ct == nil || ct.B == nil || ct.A == nil {
-			return fmt.Errorf("core: result tile %d is nil; allocate with NewResult", ti)
+			return fmt.Errorf("%w: result tile %d is nil; allocate with NewResult", ErrResultShape, ti)
 		}
 		if ct.B.Levels() != e.P.NormalLevels || ct.A.Levels() != e.P.NormalLevels ||
 			len(ct.B.Coeffs[0]) != e.P.R.N || len(ct.A.Coeffs[0]) != e.P.R.N {
-			return fmt.Errorf("core: result tile %d has the wrong shape; allocate with NewResult", ti)
+			return fmt.Errorf("%w: result tile %d has the wrong shape; allocate with NewResult", ErrResultShape, ti)
 		}
 	}
 	e.ensureInvN()
@@ -189,6 +225,7 @@ type rowScratch struct {
 	pt   *bfv.Plaintext   // on-the-fly row encoding (MatVec path)
 	lift *ring.Poly       // on-the-fly lifted row (MatVec path)
 	beta []uint64         // per-limb constant coefficient of acc.B
+	clk  obs.StageClock   // per-stage wall-time attribution (pooled, no allocs)
 }
 
 func (e *Evaluator) getRowScratch() *rowScratch {
@@ -212,6 +249,7 @@ func (e *Evaluator) putRowScratch(rs *rowScratch) { e.rowPool.Put(rs) }
 type applyScratch struct {
 	vNTT []*rlwe.Ciphertext // full basis, NTT domain
 	tree []*rlwe.Ciphertext // normal basis; consumed by PackRLWEs
+	clk  obs.StageClock     // times the shared vector transforms
 }
 
 func (e *Evaluator) getApplyScratch(chunks, mPad int) *applyScratch {
@@ -279,19 +317,23 @@ func (e *Evaluator) effWorkers(items int) int {
 // transforms them once — the pipeline's shared stage-1 work.
 func (e *Evaluator) loadVector(sc *applyScratch, ctV []*rlwe.Ciphertext) error {
 	r := e.P.R
+	sc.clk.Start()
 	for c, ct := range ctV {
 		if ct.Levels() != r.Levels() {
-			return fmt.Errorf("core: vector ciphertext %d must carry the augmented basis", c)
+			return fmt.Errorf("%w: vector ciphertext %d", ErrVectorBasis, c)
 		}
 		v := sc.vNTT[c]
 		v.CopyFrom(ct)
+		sc.clk.Skip() // the copy is not a pipeline stage
 		if !v.B.IsNTT {
 			r.NTT(v.B)
 		}
 		if !v.A.IsNTT {
 			r.NTT(v.A)
 		}
+		sc.clk.Mark(obs.StageNTT)
 	}
+	sc.clk.Flush()
 	return nil
 }
 
@@ -306,6 +348,7 @@ func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, 
 	full := r.Levels()
 	acc := rs.acc
 	acc.B.IsNTT, acc.A.IsNTT = true, true
+	rs.clk.Start()
 	for c := 0; c < len(vNTT); c++ {
 		pt := rs.lift
 		var sh [][]uint64
@@ -317,8 +360,11 @@ func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, 
 				hi = len(row)
 			}
 			p.EncodeRowInto(rs.pt, row[lo:hi], scale)
+			rs.clk.Mark(obs.StageEncode)
 			p.LiftInto(pt, rs.pt)
+			rs.clk.Mark(obs.StageLift)
 			r.NTT(pt)
+			rs.clk.Mark(obs.StageNTT)
 		}
 		switch {
 		case c == 0 && sh != nil:
@@ -334,6 +380,7 @@ func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, 
 			r.MulCoeffAdd(acc.B, vNTT[c].B, pt)
 			r.MulCoeffAdd(acc.A, vNTT[c].A, pt)
 		}
+		rs.clk.Mark(obs.StageRowMul)
 	}
 	// B: EXTRACT at index 0 keeps only the constant coefficient of the
 	// inverse transform, which is N^{-1}·Σ_j â_j per limb — sum each limb
@@ -341,11 +388,14 @@ func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, 
 	for l := 0; l < full; l++ {
 		rs.beta[l] = r.Moduli[l].MulShoup(r.SumRow(acc.B, l), e.invN[l], e.invNShoup[l])
 	}
+	rs.clk.Mark(obs.StageExtract)
 	for lv := full; lv > p.NormalLevels; lv-- {
 		r.ModDownScalar(rs.beta, lv)
 	}
+	rs.clk.Mark(obs.StageModDown)
 	// A: full inverse transform, then the RESCALE chain into dst.A.
 	r.INTT(acc.A)
+	rs.clk.Mark(obs.StageINTT)
 	a := acc.A
 	for a.Levels() > p.NormalLevels+1 {
 		na := r.GetPoly(a.Levels() - 1)
@@ -359,6 +409,7 @@ func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, 
 	if a != acc.A {
 		r.PutPoly(a)
 	}
+	rs.clk.Mark(obs.StageModDown)
 	for l := 0; l < p.NormalLevels; l++ {
 		rb := dst.B.Coeffs[l]
 		for i := range rb {
@@ -367,6 +418,8 @@ func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, 
 		rb[0] = rs.beta[l]
 	}
 	dst.B.IsNTT = false
+	rs.clk.Mark(obs.StageExtract)
+	rs.clk.Flush()
 }
 
 // tileApply runs stages 1–9 for one row tile into out (normal basis): the

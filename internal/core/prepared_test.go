@@ -1,12 +1,36 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"testing"
 
+	"cham/internal/obs"
 	"cham/internal/rlwe"
 	"cham/internal/testutil"
 )
+
+// obsEnable turns telemetry on for one test and restores the previous
+// state afterwards.
+func obsEnable(t *testing.T) {
+	t.Helper()
+	prev := obs.On()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+}
+
+// wantErr asserts err wraps the expected sentinel (the typed classes the
+// metrics layer counts).
+func wantErr(t *testing.T, err, sentinel error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Errorf("%s: no error", what)
+		return
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("%s: error %q does not wrap %q", what, err, sentinel)
+	}
+}
 
 // ctEqual compares two ciphertexts coefficient for coefficient.
 func ctEqual(a, b *rlwe.Ciphertext) bool {
@@ -127,31 +151,25 @@ func TestPreparedValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Prepare(nil); err == nil {
-		t.Error("empty matrix accepted")
-	}
-	if _, err := ev.Prepare([][]uint64{{}}); err == nil {
-		t.Error("zero-column matrix accepted")
-	}
-	if _, err := ev.Prepare([][]uint64{{1, 2}, {1}}); err == nil {
-		t.Error("ragged matrix accepted")
-	}
-	if _, err := ev.Prepare(randomMatrix(rng, 8, 16, p.T.Q)); err == nil {
-		t.Error("tile beyond packing keys accepted")
-	}
+	_, err = ev.Prepare(nil)
+	wantErr(t, err, ErrEmptyMatrix, "empty matrix")
+	_, err = ev.Prepare([][]uint64{{}})
+	wantErr(t, err, ErrEmptyMatrix, "zero-column matrix")
+	_, err = ev.Prepare([][]uint64{{1, 2}, {1}})
+	wantErr(t, err, ErrRaggedMatrix, "ragged matrix")
+	_, err = ev.Prepare(randomMatrix(rng, 8, 16, p.T.Q))
+	wantErr(t, err, ErrTileTooLarge, "tile beyond packing keys")
 	pm, err := ev.Prepare(randomMatrix(rng, 4, 16, p.T.Q))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctV := EncryptVector(p, rng, sk, randomVector(rng, 16, p.T.Q))
-	if _, err := pm.Apply(append(ctV, ctV...)); err == nil {
-		t.Error("chunk-count mismatch accepted")
-	}
+	_, err = pm.Apply(append(ctV, ctV...))
+	wantErr(t, err, ErrVectorLength, "chunk-count mismatch")
 	// A ciphertext without the augmented basis must be rejected.
 	bad := []*rlwe.Ciphertext{p.Encrypt(rng, sk, p.NewPlaintext(), p.NormalLevels)}
-	if _, err := pm.Apply(bad); err == nil {
-		t.Error("normal-basis vector ciphertext accepted")
-	}
+	_, err = pm.Apply(bad)
+	wantErr(t, err, ErrVectorBasis, "normal-basis vector ciphertext")
 }
 
 // TestPreparedMisuse: every wrong way to hold the ApplyInto/evaluator API
@@ -179,23 +197,16 @@ func TestPreparedMisuse(t *testing.T) {
 	ctV := EncryptVector(p, rng, sk, randomVector(rng, 16, p.T.Q))
 
 	// Results that did not come from NewResult must be rejected by shape.
-	if err := pm.ApplyInto(&Result{}, ctV); err == nil {
-		t.Error("ApplyInto accepted an empty Result")
-	}
-	if err := pm.ApplyInto(&Result{Packed: []*rlwe.Ciphertext{nil}}, ctV); err == nil {
-		t.Error("ApplyInto accepted a nil result tile")
-	}
+	wantErr(t, pm.ApplyInto(&Result{}, ctV), ErrResultShape, "empty Result")
+	wantErr(t, pm.ApplyInto(&Result{Packed: []*rlwe.Ciphertext{nil}}, ctV),
+		ErrResultShape, "nil result tile")
 	short := &Result{Packed: []*rlwe.Ciphertext{{B: p.R.NewPoly(1), A: p.R.NewPoly(1)}}}
-	if err := pm.ApplyInto(short, ctV); err == nil {
-		t.Error("ApplyInto accepted a result tile with too few limbs")
-	}
+	wantErr(t, pm.ApplyInto(short, ctV), ErrResultShape, "result tile with too few limbs")
 	tiny := &Result{Packed: []*rlwe.Ciphertext{
 		{B: p.R.NewPoly(p.NormalLevels), A: p.R.NewPoly(p.NormalLevels)},
 	}}
 	tiny.Packed[0].B.Coeffs[0] = tiny.Packed[0].B.Coeffs[0][:4]
-	if err := pm.ApplyInto(tiny, ctV); err == nil {
-		t.Error("ApplyInto accepted a result tile with the wrong ring degree")
-	}
+	wantErr(t, pm.ApplyInto(tiny, ctV), ErrResultShape, "result tile with the wrong ring degree")
 	// A well-shaped Result still works after all the rejections (the
 	// validation must be side-effect free).
 	if err := pm.ApplyInto(pm.NewResult(), ctV); err != nil {
@@ -203,17 +214,57 @@ func TestPreparedMisuse(t *testing.T) {
 	}
 
 	// MatVec / MatVecMulti argument errors.
-	if _, err := ev.MatVec([][]uint64{{1, 2}, {3}}, ctV); err == nil {
-		t.Error("MatVec accepted a ragged matrix")
+	_, err = ev.MatVec([][]uint64{{1, 2}, {3}}, ctV)
+	wantErr(t, err, ErrRaggedMatrix, "MatVec ragged matrix")
+	_, err = ev.MatVec(randomMatrix(rng, 2, 16, p.T.Q), nil)
+	wantErr(t, err, ErrVectorLength, "MatVec missing vector")
+	_, err = ev.MatVec(nil, ctV)
+	wantErr(t, err, ErrEmptyMatrix, "MatVec empty matrix")
+	_, err = ev.MatVecMulti(randomMatrix(rng, 2, 16, p.T.Q), nil)
+	wantErr(t, err, ErrVectorLength, "MatVecMulti zero vectors")
+	_, err = ev.MatVecMulti(randomMatrix(rng, 2, 16, p.T.Q),
+		[][]*rlwe.Ciphertext{ctV, append(ctV, ctV...)})
+	wantErr(t, err, ErrVectorLength, "MatVecMulti chunk-count mismatch")
+}
+
+// TestErrorClassCounters: with telemetry enabled, each misuse increments
+// the matching cham_hmvp_errors_total class counter exactly once.
+func TestErrorClassCounters(t *testing.T) {
+	p := testParams(t, 16)
+	rng := testutil.NewRand(t)
+	sk := p.KeyGen(rng)
+	ev, err := NewEvaluator(p, rng, sk, 4)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := ev.MatVec(randomMatrix(rng, 2, 16, p.T.Q), nil); err == nil {
-		t.Error("MatVec accepted a missing vector")
+	ctV := EncryptVector(p, rng, sk, randomVector(rng, 16, p.T.Q))
+
+	obsEnable(t)
+	classCount := func(sentinel error) uint64 {
+		for _, ec := range errClasses {
+			if errors.Is(sentinel, ec.sentinel) {
+				return ec.counter.Value()
+			}
+		}
+		t.Fatalf("no class counter for %v", sentinel)
+		return 0
 	}
-	if _, err := ev.MatVecMulti(randomMatrix(rng, 2, 16, p.T.Q), nil); err == nil {
-		t.Error("MatVecMulti accepted zero vectors")
-	}
-	if _, err := ev.MatVecMulti(randomMatrix(rng, 2, 16, p.T.Q),
-		[][]*rlwe.Ciphertext{ctV, append(ctV, ctV...)}); err == nil {
-		t.Error("MatVecMulti accepted a chunk-count mismatch")
+	for _, tc := range []struct {
+		sentinel error
+		trigger  func() error
+	}{
+		{ErrEmptyMatrix, func() error { _, err := ev.Prepare(nil); return err }},
+		{ErrRaggedMatrix, func() error { _, err := ev.MatVec([][]uint64{{1, 2}, {3}}, ctV); return err }},
+		{ErrVectorLength, func() error { _, err := ev.MatVec(randomMatrix(rng, 2, 16, p.T.Q), nil); return err }},
+		{ErrTileTooLarge, func() error { _, err := ev.Prepare(randomMatrix(rng, 8, 16, p.T.Q)); return err }},
+	} {
+		before := classCount(tc.sentinel)
+		if err := tc.trigger(); err == nil {
+			t.Errorf("%v: trigger produced no error", tc.sentinel)
+			continue
+		}
+		if got := classCount(tc.sentinel); got != before+1 {
+			t.Errorf("%v: class counter went %d -> %d, want +1", tc.sentinel, before, got)
+		}
 	}
 }

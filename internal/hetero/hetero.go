@@ -10,8 +10,30 @@ import (
 	"fmt"
 
 	"cham/internal/core"
+	"cham/internal/obs"
 	"cham/internal/perfmodel"
 	"cham/internal/pipeline"
+)
+
+// Gauges publishing the last simulated schedule, labeled by scheduling
+// mode so the overlap/serial ablation reads straight off a scrape.
+var (
+	simGauges = func() [2]struct{ makespan, util, xfer, host *obs.Gauge } {
+		var g [2]struct{ makespan, util, xfer, host *obs.Gauge }
+		for i, mode := range []string{"serial", "overlap"} {
+			g[i].makespan = obs.GetGauge("cham_hetero_makespan_seconds",
+				"Simulated schedule makespan of the last Simulate call.", "mode", mode)
+			g[i].util = obs.GetGauge("cham_hetero_engine_utilization",
+				"Engine busy fraction of the last simulated schedule.", "mode", mode)
+			g[i].xfer = obs.GetGauge("cham_hetero_transfer_busy_seconds",
+				"Aggregate DMA seconds of the last simulated schedule.", "mode", mode)
+			g[i].host = obs.GetGauge("cham_hetero_host_busy_seconds",
+				"Aggregate host-thread seconds of the last simulated schedule.", "mode", mode)
+		}
+		return g
+	}()
+	simRuns = obs.GetCounter("cham_hetero_simulations_total",
+		"Heterogeneous schedule simulations run.")
 )
 
 // Job is one accelerator invocation (e.g. one HMVP batch).
@@ -130,6 +152,18 @@ func (s System) Simulate(jobs []Job, overlap bool) Timeline {
 			tl.Makespan = tr.PostEnd
 		}
 		tl.Jobs = append(tl.Jobs, tr)
+	}
+	if obs.On() {
+		mode := 0
+		if overlap {
+			mode = 1
+		}
+		g := simGauges[mode]
+		g.makespan.Set(tl.Makespan)
+		g.util.Set(tl.EngineUtilization(s.Engines))
+		g.xfer.Set(tl.TransferBusy)
+		g.host.Set(tl.HostBusy)
+		simRuns.Inc()
 	}
 	return tl
 }

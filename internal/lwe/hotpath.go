@@ -13,9 +13,21 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cham/internal/bfv"
+	"cham/internal/obs"
 	"cham/internal/rlwe"
+)
+
+// Stage telemetry: each tree merge splits into PACKTWOLWES arithmetic
+// (pack) and the automorphism key switch it contains (key_switch), the
+// two stage families of the reduce buffer in the hardware pipeline.
+var (
+	packSec   = obs.StageHistogram(obs.StagePack)
+	ksSec     = obs.StageHistogram(obs.StageKeySwitch)
+	mergesCnt = obs.GetCounter("cham_hmvp_pack_merges_total",
+		"PACKTWOLWES tree merges (m-1 per packed tile).")
 )
 
 // ExtractAsRLWEInto fuses Extract and AsRLWE, writing the result into a
@@ -54,14 +66,33 @@ func ExtractAsRLWEInto(p bfv.Params, out, ct *rlwe.Ciphertext, idx int) {
 // ctE and ctO are consumed (overwritten as scratch); out may alias ctE but
 // not ctO. All temporaries are pooled.
 func PackTwoInto(p bfv.Params, out *rlwe.Ciphertext, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey) {
+	on := obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	z := p.R.N / (2 * i)
 	p.MulMonomial(ctO, ctO, z) // ctO ← X^z·ctO, in place
 	minus := p.GetCiphertext(ctE.Levels())
 	p.Sub(minus, ctE, ctO)
 	p.Add(out, ctE, ctO)
+	var t1 time.Time
+	if on {
+		t1 = time.Now()
+	}
 	p.AutomorphCtInto(minus, minus, 2*i+1, swk)
+	var t2 time.Time
+	if on {
+		t2 = time.Now()
+	}
 	p.Add(out, out, minus)
 	p.PutCiphertext(minus)
+	if on {
+		t3 := time.Now()
+		packSec.Observe(t1.Sub(t0).Seconds() + t3.Sub(t2).Seconds())
+		ksSec.Observe(t2.Sub(t1).Seconds())
+		mergesCnt.Inc()
+	}
 }
 
 // PackRLWEs packs m := len(cts) RLWE slot ciphertexts (the AsRLWE form of

@@ -1,0 +1,72 @@
+package noise
+
+import (
+	"math/big"
+
+	"cham/internal/lwe"
+	"cham/internal/obs"
+	"cham/internal/rlwe"
+)
+
+// Noise-budget telemetry: remaining headroom (budget − estimate, in
+// bits) after each noise-relevant pipeline stage, plus the measured
+// output noise when a secret key is available (chamsim publishes it).
+// Negative remaining bits mean predicted decryption failure.
+var (
+	budgetHelp = "Analytic noise budget remaining (bits) after each pipeline stage."
+	gFresh     = obs.GetGauge("cham_noise_budget_remaining_bits", budgetHelp, "stage", "fresh")
+	gRowMul    = obs.GetGauge("cham_noise_budget_remaining_bits", budgetHelp, "stage", "row_mul")
+	gModDown   = obs.GetGauge("cham_noise_budget_remaining_bits", budgetHelp, "stage", "mod_down")
+	gPack      = obs.GetGauge("cham_noise_budget_remaining_bits", budgetHelp, "stage", "pack")
+	gMeasured  = obs.GetGauge("cham_noise_measured_output_bits",
+		"Measured ∞-norm noise (bits) of the last checked HMVP output.")
+)
+
+// PublishBudget publishes the per-stage remaining-budget gauges for an
+// m-row tile: the analytic estimates of DESIGN.md §3 subtracted from the
+// decryption budget of the basis each stage lives in (the augmented
+// basis before ModDown, the normal basis after).
+func (e *Estimator) PublishBudget(m int) {
+	fresh := e.FreshSym()
+	mul := e.AfterMulPlain(fresh, float64(e.P.T.Q)/2)
+	res := e.AfterRescale(mul)
+	pack := e.AfterPack(res, m)
+	full := e.Budget(e.P.R.Levels())
+	normal := e.Budget(e.P.NormalLevels)
+	gFresh.Set(full - fresh)
+	gRowMul.Set(full - mul)
+	gModDown.Set(normal - res)
+	gPack.Set(normal - pack)
+}
+
+// MeasureTile returns the worst-case measured noise (bits) across the
+// result slots of one packed HMVP tile, given the secret key and the
+// expected cleartext values for the tile's rows. mPad is the padded
+// (power-of-two) row count that fixes the slot stride. The packing
+// factor is pre-compensated in the row encoding, so each slot's phase
+// is Δ·lift(want_i) + noise.
+func (e *Estimator) MeasureTile(ct *rlwe.Ciphertext, sk *rlwe.SecretKey, want []uint64, mPad int) float64 {
+	p := e.P
+	delta := p.Delta(p.NormalLevels)
+	q := p.R.Modulus(p.NormalLevels)
+	half := new(big.Int).Rsh(q, 1)
+	stride := lwe.SlotStride(p.R.N, mPad)
+	vals := p.R.ToBigIntCentered(p.Phase(ct, sk), p.NormalLevels)
+	measured := 0.0
+	diff := new(big.Int)
+	for i, w := range want {
+		exp := new(big.Int).Mul(delta, big.NewInt(p.T.CenterLift(w)))
+		diff.Sub(vals[i*stride], exp)
+		diff.Mod(diff, q)
+		if diff.Cmp(half) > 0 {
+			diff.Sub(diff, q)
+		}
+		if b := float64(new(big.Int).Abs(diff).BitLen()); b > measured {
+			measured = b
+		}
+	}
+	return measured
+}
+
+// PublishMeasured records the measured output noise gauge.
+func PublishMeasured(bits float64) { gMeasured.Set(bits) }

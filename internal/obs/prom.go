@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"` // +Inf encodes as JSON null via MarshalJSON below
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders +Inf as the string "+Inf" (JSON has no infinities).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = formatFloat(b.LE)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}{le, b.Count})
+}
+
+// MetricSnapshot is the point-in-time state of one series.
+type MetricSnapshot struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the state of every registered series, ordered by
+// family name then label signature (the WriteTo order).
+func (r *Registry) Snapshot() []MetricSnapshot {
+	ms := r.sorted()
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		s := MetricSnapshot{Name: m.name, Type: m.kind.String()}
+		if len(m.labels) > 0 {
+			s.Labels = map[string]string{}
+			for _, l := range m.labels {
+				s.Labels[l[0]] = l[1]
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.c.Value())
+		case kindCounterF:
+			s.Value = m.cf.Value()
+		case kindGauge:
+			s.Value = m.g.Value()
+		case kindHistogram:
+			var cum uint64
+			for i, bound := range m.h.upper {
+				cum += m.h.counts[i].Load()
+				s.Buckets = append(s.Buckets, BucketSnapshot{LE: bound, Count: cum})
+			}
+			cum += m.h.counts[len(m.h.upper)].Load()
+			s.Buckets = append(s.Buckets, BucketSnapshot{LE: math.Inf(1), Count: cum})
+			s.Count = cum
+			s.Sum = m.h.Sum()
+			s.Value = m.h.Sum()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// sorted returns the metrics ordered by (family, label signature) — the
+// deterministic order both WriteTo and Snapshot use.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.all))
+	copy(ms, r.all)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return labelString(ms[i].labels) < labelString(ms[j].labels)
+	})
+	return ms
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers per family, then each series, with
+// histograms expanded to cumulative _bucket/_sum/_count lines.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	emit := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(bw, format, args...)
+		n += int64(c)
+		return err
+	}
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		if m.name != lastFamily {
+			if err := emit("# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " ")); err != nil {
+				return n, err
+			}
+			if err := emit("# TYPE %s %s\n", m.name, m.kind); err != nil {
+				return n, err
+			}
+			lastFamily = m.name
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			err = emit("%s%s %d\n", m.name, labelString(m.labels), m.c.Value())
+		case kindCounterF:
+			err = emit("%s%s %s\n", m.name, labelString(m.labels), formatFloat(m.cf.Value()))
+		case kindGauge:
+			err = emit("%s%s %s\n", m.name, labelString(m.labels), formatFloat(m.g.Value()))
+		case kindHistogram:
+			var cum uint64
+			for i, bound := range m.h.upper {
+				cum += m.h.counts[i].Load()
+				if err = emit("%s_bucket%s %d\n", m.name,
+					labelString(append(append([][2]string{}, m.labels...), [2]string{"le", formatFloat(bound)})), cum); err != nil {
+					return n, err
+				}
+			}
+			cum += m.h.counts[len(m.h.upper)].Load()
+			if err = emit("%s_bucket%s %d\n", m.name,
+				labelString(append(append([][2]string{}, m.labels...), [2]string{"le", "+Inf"})), cum); err != nil {
+				return n, err
+			}
+			if err = emit("%s_sum%s %s\n", m.name, labelString(m.labels), formatFloat(m.h.Sum())); err != nil {
+				return n, err
+			}
+			err = emit("%s_count%s %d\n", m.name, labelString(m.labels), cum)
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// formatFloat renders values the way Prometheus clients expect.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// labelString renders {k1="v1",k2="v2"} or "" for a bare series.
+func labelString(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l[0], labelEscaper.Replace(l[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses the subset of the Prometheus text format WriteTo
+// emits (cmd/chamtop uses it to read a live scrape back). Comment lines
+// are skipped; histogram series come back under their expanded
+// _bucket/_sum/_count names.
+func ParseText(text string) ([]Sample, error) {
+	var out []Sample
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: line %d: no value separator", ln+1)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q", ln+1, valStr)
+		}
+		s := Sample{Value: val, Labels: map[string]string{}}
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return nil, fmt.Errorf("obs: line %d: unterminated labels", ln+1)
+			}
+			s.Name = series[:br]
+			if err := parseLabels(series[br+1:len(series)-1], s.Labels); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %v", ln+1, err)
+			}
+		} else {
+			s.Name = series
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// parseLabels fills dst from `k1="v1",k2="v2"`.
+func parseLabels(body string, dst map[string]string) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label without value in %q", body)
+		}
+		key := body[i : i+eq]
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("unquoted label value in %q", body)
+		}
+		i++
+		var val strings.Builder
+		for i < len(body) && body[i] != '"' {
+			if body[i] == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+			} else {
+				val.WriteByte(body[i])
+			}
+			i++
+		}
+		if i >= len(body) {
+			return fmt.Errorf("unterminated label value in %q", body)
+		}
+		i++ // closing quote
+		dst[key] = val.String()
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package obs
+
+import "time"
+
+// The nine-stage HMVP taxonomy (DESIGN.md §7/§9). These indices and names
+// are the single source of truth shared by the instrumented kernels
+// (internal/core, internal/lwe), the exposition format, cmd/chamtop, and
+// the documentation: a stage renamed here renames everywhere.
+const (
+	StageEncode    = iota // row coefficient encoding (Eq. 1)
+	StageLift             // CRT lift to the augmented basis
+	StageNTT              // forward transforms (rows + vector chunks)
+	StageRowMul           // MULTPOLY multiply-accumulate (Eq. 2)
+	StageINTT             // inverse transform of the accumulator
+	StageExtract          // EXTRACTLWES constant-coefficient extraction (Eq. 3)
+	StagePack             // PACKTWOLWES tree arithmetic (Alg. 2/3)
+	StageKeySwitch        // automorphism key switches inside packing
+	StageModDown          // RESCALE / ModDown chains (poly and scalar)
+	NumStages
+)
+
+// StageNames maps stage indices to their metric label values.
+var StageNames = [NumStages]string{
+	"encode", "lift", "ntt", "row_mul", "intt",
+	"extract", "pack", "key_switch", "mod_down",
+}
+
+// stageHists holds the per-stage latency histograms of the
+// cham_hmvp_stage_seconds family, registered eagerly so a scrape shows
+// all nine stages from process start.
+var stageHists = func() [NumStages]*Histogram {
+	var hs [NumStages]*Histogram
+	for i := 0; i < NumStages; i++ {
+		hs[i] = GetHistogram("cham_hmvp_stage_seconds",
+			"Wall time spent in each HMVP pipeline stage (DESIGN.md taxonomy).",
+			DefBuckets, "stage", StageNames[i])
+	}
+	return hs
+}()
+
+// StageHistogram returns the latency histogram for one pipeline stage.
+func StageHistogram(stage int) *Histogram { return stageHists[stage] }
+
+// StageClock attributes wall time to pipeline stages with one time.Now
+// per transition, accumulating locally and publishing once per Flush so
+// a row touching a stage many times (once per column chunk) costs one
+// histogram observation. Embed it in pooled scratch — it is sized for
+// the stack/arena, never the heap — and drive it Start → Mark* → Flush.
+// When collection is off, Start leaves it dormant and every method is a
+// single branch.
+type StageClock struct {
+	on   bool
+	last time.Time
+	acc  [NumStages]time.Duration
+}
+
+// Start arms the clock for one instrumented region.
+func (c *StageClock) Start() {
+	c.on = On()
+	if !c.on {
+		return
+	}
+	for i := range c.acc {
+		c.acc[i] = 0
+	}
+	c.last = time.Now()
+}
+
+// Mark charges the time since the previous mark to stage.
+func (c *StageClock) Mark(stage int) {
+	if !c.on {
+		return
+	}
+	now := time.Now()
+	c.acc[stage] += now.Sub(c.last)
+	c.last = now
+}
+
+// Skip discards the time since the previous mark (un-attributed work).
+func (c *StageClock) Skip() {
+	if !c.on {
+		return
+	}
+	c.last = time.Now()
+}
+
+// Flush publishes every stage that accumulated time and disarms the
+// clock.
+func (c *StageClock) Flush() {
+	if !c.on {
+		return
+	}
+	for i, d := range c.acc {
+		if d > 0 {
+			stageHists[i].Observe(d.Seconds())
+		}
+	}
+	c.on = false
+}

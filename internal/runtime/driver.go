@@ -3,6 +3,8 @@ package runtime
 import (
 	"fmt"
 	"time"
+
+	"cham/internal/obs"
 )
 
 // Driver is the low-level access layer: verified register loads, job
@@ -43,6 +45,9 @@ func (dr *Driver) LoadConfig(addr uint32, v uint64) error {
 		if payload, err := checkWord(got); err == nil && payload == v {
 			if attempt > 0 {
 				dr.recovered++
+				if obs.On() {
+					mRecovered.Inc()
+				}
 			}
 			return nil
 		}
@@ -69,6 +74,9 @@ func (dr *Driver) Submit(engine int) error {
 		if s != JobIdle {
 			if attempt > 0 {
 				dr.recovered++
+				if obs.On() {
+					mRecovered.Inc()
+				}
 			}
 			return nil
 		}

@@ -1,0 +1,46 @@
+package runtime
+
+import (
+	"strconv"
+
+	"cham/internal/obs"
+)
+
+// Telemetry handles for the driver/runtime layer, resolved at package
+// init. Importing this package is enough to make the RAS counter
+// families visible (at zero) in a metrics scrape.
+var (
+	mJobsOK = obs.GetCounter("cham_runtime_jobs_total",
+		"Accelerator jobs by final outcome.", "result", "ok")
+	mJobsFailed = obs.GetCounter("cham_runtime_jobs_total",
+		"Accelerator jobs by final outcome.", "result", "failed")
+	mSubmits = obs.GetCounter("cham_runtime_submits_total",
+		"Doorbell submissions, including replayed attempts.")
+	mWaitSec = obs.GetHistogram("cham_runtime_wait_seconds",
+		"WaitJob latency per attempt.", obs.DefBuckets)
+	mReplays = obs.GetCounter("cham_runtime_replays_total",
+		"Job replays after a hang, error, or reset.")
+	mResets = obs.GetCounter("cham_runtime_resets_total",
+		"Card power-cycle recoveries.")
+	mRecovered = obs.GetCounter("cham_runtime_recovered_writes_total",
+		"Register loads or doorbells that needed a retry.")
+	mTempC = obs.GetGauge("cham_runtime_temp_celsius",
+		"Die temperature at the last health check.")
+	mAlive = obs.GetGauge("cham_runtime_alive",
+		"1 if the heartbeat advanced at the last health check, else 0.")
+	mHeartbeatAge = obs.GetGauge("cham_runtime_heartbeat_age_seconds",
+		"Seconds since the heartbeat counter was last seen advancing.")
+)
+
+// engineBusy returns the per-engine busy-time counters for engines
+// [0,n). Series are shared registry-wide, so two runtimes over cards
+// with the same engine count accumulate into the same counters.
+func engineBusy(n int) []*obs.CounterF {
+	out := make([]*obs.CounterF, n)
+	for e := range out {
+		out[e] = obs.GetCounterF("cham_runtime_engine_busy_seconds_total",
+			"Cumulative seconds each engine spent executing jobs.",
+			"engine", strconv.Itoa(e))
+	}
+	return out
+}

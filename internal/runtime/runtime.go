@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"cham/internal/obs"
 )
 
 // Runtime is the application-facing layer: it owns the driver, schedules
@@ -27,6 +29,13 @@ type Runtime struct {
 	resets   int
 	gen      int // recovery generation; bumped on every reset
 	statuses []HealthSample
+
+	// Heartbeat-age tracking for the health gauges.
+	lastBeat     uint64
+	lastBeatSeen time.Time
+
+	// busy holds the per-engine busy-time counters, indexed by engine.
+	busy []*obs.CounterF
 
 	// op serializes recovery against in-flight jobs: jobs hold the read
 	// side for their whole execution, recovery takes the write side, so a
@@ -61,6 +70,7 @@ func New(dev *Device) (*Runtime, error) {
 		MaxReplays: 3,
 		TempTripC:  85,
 		free:       make(chan int, engines),
+		busy:       engineBusy(engines),
 	}
 	for e := 0; e < engines; e++ {
 		rt.free <- e
@@ -78,16 +88,26 @@ func (rt *Runtime) Driver() *Driver { return rt.dr }
 // configuration words, rings the doorbell, and waits. Hangs and job
 // errors trigger reset-and-replay up to MaxReplays.
 func (rt *Runtime) RunJob(config []uint64) error {
+	on := obs.On()
 	for attempt := 0; ; attempt++ {
 		gen := rt.generation()
 		err := rt.runOnce(config)
 		if err == nil {
+			if on {
+				mJobsOK.Inc()
+			}
 			return nil
 		}
 		rt.mu.Lock()
 		rt.replays++
 		rt.mu.Unlock()
+		if on {
+			mReplays.Inc()
+		}
 		if attempt >= rt.MaxReplays {
+			if on {
+				mJobsFailed.Inc()
+			}
 			return fmt.Errorf("runtime: job failed after %d replays: %w", attempt, err)
 		}
 		rt.recoverIfStale(gen)
@@ -105,6 +125,12 @@ func (rt *Runtime) runOnce(config []uint64) error {
 	defer rt.op.RUnlock()
 	engine := <-rt.free
 	defer func() { rt.free <- engine }()
+	on := obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+		defer func() { rt.busy[engine].Add(time.Since(t0).Seconds()) }()
+	}
 
 	base := RegScratch + uint32(0x40*engine)
 	for i, w := range config {
@@ -115,7 +141,17 @@ func (rt *Runtime) runOnce(config []uint64) error {
 	if err := rt.dr.Submit(engine); err != nil {
 		return err
 	}
+	if on {
+		mSubmits.Inc()
+	}
+	var tw time.Time
+	if on {
+		tw = time.Now()
+	}
 	status, err := rt.dr.WaitJob(engine, rt.JobTimeout)
+	if on {
+		mWaitSec.Observe(time.Since(tw).Seconds())
+	}
 	if err != nil {
 		return err
 	}
@@ -141,6 +177,9 @@ func (rt *Runtime) recoverIfStale(gen int) {
 	rt.dr.Reset()
 	rt.gen++
 	rt.resets++
+	if obs.On() {
+		mResets.Inc()
+	}
 }
 
 // Replays and Resets report RAS counters.
@@ -169,8 +208,9 @@ func (rt *Runtime) HealthCheck() HealthSample {
 	}
 	temp := rt.dr.Temperature()
 	jobs, resets := rt.deviceStats()
+	now := time.Now()
 	s := HealthSample{
-		When:     time.Now(),
+		When:     now,
 		Alive:    alive,
 		TempC:    temp,
 		JobsDone: jobs,
@@ -178,7 +218,21 @@ func (rt *Runtime) HealthCheck() HealthSample {
 	}
 	rt.mu.Lock()
 	rt.statuses = append(rt.statuses, s)
+	if h2 != rt.lastBeat || rt.lastBeatSeen.IsZero() {
+		rt.lastBeat = h2
+		rt.lastBeatSeen = now
+	}
+	age := now.Sub(rt.lastBeatSeen).Seconds()
 	rt.mu.Unlock()
+	if obs.On() {
+		mTempC.Set(temp)
+		if alive {
+			mAlive.Set(1)
+		} else {
+			mAlive.Set(0)
+		}
+		mHeartbeatAge.Set(age)
+	}
 	return s
 }
 

@@ -240,3 +240,47 @@ func TestDeviceDoorbellEdgeCases(t *testing.T) {
 		t.Errorf("status %d err %v", s, err)
 	}
 }
+
+// TestHistoryIsACopy: mutating a returned History slice must not bleed
+// into the runtime's internal log, and History must be safe to call
+// while other goroutines append samples and run jobs (run with -race).
+func TestHistoryIsACopy(t *testing.T) {
+	rt := healthyRuntime(t, 2)
+	rt.HealthCheck()
+	h := rt.History()
+	if len(h) != 1 {
+		t.Fatalf("history length %d, want 1", len(h))
+	}
+	h[0].TempC = -273
+	if got := rt.History()[0].TempC; got == -273 {
+		t.Error("History returned internal storage, not a copy")
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rt.HealthCheck()
+					_ = rt.RunJob([]uint64{7})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		for _, s := range rt.History() {
+			_ = s.TempC // read every field the writers touch
+		}
+		_ = rt.Healthy()
+		_ = rt.Replays()
+		_ = rt.Resets()
+	}
+	close(stop)
+	wg.Wait()
+}
