@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench tier2 fuzz vet-strict obs-race metrics-smoke
+.PHONY: check vet build test race bench tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke
 
 # Tier-1 gate: everything a PR must keep green.
 check: vet build race
@@ -22,7 +22,7 @@ race:
 # every fuzz target, the stricter vet analyzers the concurrent hot
 # path depends on, and the telemetry layer under the race detector.
 # Benchmarks only run on a tree that has passed it.
-tier2: race fuzz vet-strict obs-race
+tier2: race fuzz vet-strict obs-race serve-smoke
 
 obs-race:
 	$(GO) vet ./internal/obs
@@ -37,6 +37,8 @@ fuzz:
 	$(GO) test ./internal/ntt -run '^$$' -fuzz '^FuzzNegacyclicMul$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lwe -run '^$$' -fuzz '^FuzzPackLWEs$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHMVPDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
 
 # End-to-end check of the live telemetry endpoint: boot chamsim with
 # -metrics, scrape it, and require the stage-latency family.
@@ -53,6 +55,14 @@ metrics-smoke:
 	kill $$pid 2>/dev/null; \
 	if [ $$ok -ne 0 ]; then echo "metrics-smoke: no cham_hmvp_stage_seconds in scrape"; exit 1; fi; \
 	echo "metrics-smoke: ok ($$(grep -c '^cham_' /tmp/chamsim-smoke.metrics) series scraped)"
+
+# End-to-end check of the serving tier: the loopback example exercises
+# the full handshake → keys → register → apply → drain flow over TCP,
+# and the remote benchmark path is built (not timed).
+serve-smoke:
+	$(GO) run ./examples/serve
+	$(GO) build -o /tmp/chamserve-smoke ./cmd/chamserve
+	$(GO) build -o /tmp/chambench-smoke ./cmd/chambench
 
 # Hot-path benchmarks + the machine-readable BENCH_hmvp.json report.
 bench: tier2 metrics-smoke

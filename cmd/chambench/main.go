@@ -37,8 +37,10 @@ type result struct {
 }
 
 type report struct {
-	Benchmarks []result           `json:"benchmarks"`
-	Speedups   map[string]float64 `json:"prepared_apply_speedup"`
+	Benchmarks []result           `json:"benchmarks,omitempty"`
+	Speedups   map[string]float64 `json:"prepared_apply_speedup,omitempty"`
+	// Remote holds the serving-tier numbers when -remote is set.
+	Remote *remoteResult `json:"remote,omitempty"`
 	// Telemetry is the obs registry snapshot from one instrumented apply
 	// per shape, run after the timed benchmarks (which execute with
 	// telemetry off so the numbers stay undisturbed).
@@ -158,7 +160,29 @@ func runShape(ringN, m, cols int, workers int) ([]result, float64, error) {
 func main() {
 	out := flag.String("o", "BENCH_hmvp.json", "output path for the JSON report")
 	workers := flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
+	remote := flag.String("remote", "", `benchmark the serving tier instead: "self" spins up loopback servers in-process, host:port targets a running chamserve`)
+	remoteN := flag.Int("remote-n", 256, "ring degree for -remote mode (must match an external server)")
+	clients := flag.Int("clients", 64, "concurrent clients for the -remote throughput measurement")
 	flag.Parse()
+
+	if *remote != "" {
+		rr, err := runRemote(*remote, *remoteN, *clients)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chambench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("in-process warm apply:  %12.0f ns/op\n", rr.InprocNsPerOp)
+		fmt.Printf("remote RPC apply:       %12.0f ns/op  (overhead %.0f ns, %.1f%%)\n",
+			rr.RPCNsPerOp, rr.RPCOverheadNs, 100*rr.RPCOverheadNs/rr.InprocNsPerOp)
+		fmt.Printf("batched throughput:     %12.0f req/s  (%d clients)\n", rr.BatchedReqPerSec, rr.Clients)
+		if rr.Batch1ReqPerSec > 0 {
+			fmt.Printf("batch-1 throughput:     %12.0f req/s\n", rr.Batch1ReqPerSec)
+			fmt.Printf("coalescing speedup:     %12.2fx\n", rr.CoalescingSpeedup)
+		}
+		rep := report{Remote: rr, Telemetry: obs.Default().Snapshot()}
+		writeReport(*out, rep)
+		return
+	}
 
 	const m, cols = 256, 4096
 	rep := report{Speedups: map[string]float64{}}
@@ -179,15 +203,19 @@ func main() {
 	rep.Telemetry = obs.Default().Snapshot()
 	fmt.Println("\ntelemetry (one instrumented apply per shape):")
 	obs.Default().WriteTo(os.Stdout)
+	writeReport(*out, rep)
+}
+
+func writeReport(path string, rep report) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chambench:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "chambench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
 }

@@ -1,0 +1,243 @@
+package main
+
+// Remote mode: measure the serving tier instead of the in-process hot
+// path. Reports the RPC tax (remote single-client apply vs warm in-process
+// ApplyInto over the same keys and matrix) and the batched throughput
+// under concurrent clients. With -remote self, two loopback servers are
+// started in-process — one with coalescing enabled, one pinned to batch
+// size 1 — so the batching win is measured directly; with -remote
+// host:port an external chamserve is benchmarked as-is.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cham/internal/bfv"
+	"cham/internal/client"
+	"cham/internal/core"
+	"cham/internal/lwe"
+	"cham/internal/rlwe"
+	rt "cham/internal/runtime"
+	"cham/internal/server"
+	"cham/internal/wire"
+)
+
+// remoteResult is the -remote section of BENCH_hmvp.json.
+type remoteResult struct {
+	Target            string  `json:"target"`
+	RingDegree        int     `json:"ring_degree"`
+	Rows              int     `json:"rows"`
+	Cols              int     `json:"cols"`
+	Clients           int     `json:"clients"`
+	InprocNsPerOp     float64 `json:"inproc_ns_per_op"`
+	RPCNsPerOp        float64 `json:"rpc_ns_per_op"`
+	RPCOverheadNs     float64 `json:"rpc_overhead_ns"`
+	BatchedReqPerSec  float64 `json:"batched_req_per_sec"`
+	Batch1ReqPerSec   float64 `json:"batch1_req_per_sec,omitempty"`
+	CoalescingSpeedup float64 `json:"coalescing_speedup,omitempty"`
+}
+
+// loopbackServer starts an in-process server with a simulated card and
+// returns its address plus a closer.
+func loopbackServer(p bfv.Params, maxBatch int) (string, func(), error) {
+	// 5ms per card job: scaled down from the ~100ms production HMVP but
+	// still large against the software apply, so per-job dispatch is the
+	// dominant serving cost exactly as on the real card.
+	card, err := rt.New(rt.NewDevice(2, 5*time.Millisecond, rt.FaultPlan{}))
+	if err != nil {
+		return "", nil, err
+	}
+	card.JobTimeout = 5 * time.Second
+	s, err := server.New(server.Config{
+		Params:   p,
+		MaxBatch: maxBatch,
+		Linger:   2 * time.Millisecond,
+		Card:     card,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go s.Serve(ln)
+	return ln.Addr().String(), func() { ln.Close() }, nil
+}
+
+// dialRemote connects a client and installs keys + matrix.
+func dialRemote(addr string, p bfv.Params, keys *lwe.PackingKeys, A [][]uint64) (*client.Client, wire.MatrixHandle, error) {
+	cl, err := client.Dial(client.Config{Addr: addr, Params: p, MaxConns: 128})
+	if err != nil {
+		return nil, wire.MatrixHandle{}, err
+	}
+	if _, err := cl.SetupKeys(keys); err != nil {
+		cl.Close()
+		return nil, wire.MatrixHandle{}, fmt.Errorf("setup keys: %w", err)
+	}
+	h, err := cl.RegisterMatrix(A)
+	if err != nil {
+		cl.Close()
+		return nil, wire.MatrixHandle{}, fmt.Errorf("register: %w", err)
+	}
+	return cl, h, nil
+}
+
+// throughput drives `clients` concurrent goroutines, `perClient` applies
+// each, and returns requests per second.
+func throughput(cl *client.Client, h wire.MatrixHandle, vecs [][]*rlwe.Ciphertext, clients, perClient int) (float64, error) {
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctV := vecs[c%len(vecs)]
+			for i := 0; i < perClient; i++ {
+				if _, err := cl.Apply(h.ID, ctV); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return float64(clients*perClient) / elapsed.Seconds(), nil
+}
+
+// runRemote executes the remote benchmark against addrSpec ("self" or a
+// host:port of a running chamserve with matching ring degree).
+func runRemote(addrSpec string, ringN, clients int) (*remoteResult, error) {
+	p, err := bfv.NewChamParams(ringN)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(99))
+	sk := p.KeyGen(rng)
+	keys, err := lwe.GenPackingKeys(p, rng, sk, p.R.N)
+	if err != nil {
+		return nil, err
+	}
+	m, cols := 64, ringN
+	if m > ringN {
+		m = ringN
+	}
+	A := make([][]uint64, m)
+	for i := range A {
+		A[i] = make([]uint64, cols)
+		for j := range A[i] {
+			A[i][j] = rng.Uint64() % p.T.Q
+		}
+	}
+	v := make([]uint64, cols)
+	for j := range v {
+		v[j] = rng.Uint64() % p.T.Q
+	}
+	ctV := core.EncryptVector(p, rng, sk, v)
+
+	// In-process baseline over the identical key set and matrix.
+	ev, err := core.NewEvaluatorFromKeys(p, keys)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := ev.Prepare(A)
+	if err != nil {
+		return nil, err
+	}
+	out := pm.NewResult()
+	if err := pm.ApplyInto(out, ctV); err != nil {
+		return nil, err
+	}
+	inproc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := pm.ApplyInto(out, ctV); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	inprocNs := float64(inproc.T.Nanoseconds()) / float64(inproc.N)
+
+	res := &remoteResult{
+		Target:     addrSpec,
+		RingDegree: ringN,
+		Rows:       m,
+		Cols:       cols,
+		Clients:    clients,
+	}
+	res.InprocNsPerOp = inprocNs
+
+	addr := addrSpec
+	var closeBatched func()
+	if addrSpec == "self" {
+		addr, closeBatched, err = loopbackServer(p, 16)
+		if err != nil {
+			return nil, err
+		}
+		defer closeBatched()
+	}
+	cl, h, err := dialRemote(addr, p, keys, A)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	// Single-client RPC latency: the pure serving tax (framing, TCP,
+	// decode, queue) on top of the same ApplyInto.
+	rpc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Apply(h.ID, ctV); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.RPCNsPerOp = float64(rpc.T.Nanoseconds()) / float64(rpc.N)
+	res.RPCOverheadNs = res.RPCNsPerOp - inprocNs
+
+	// Batched throughput under concurrent clients. Each goroutine reuses
+	// one of a handful of pre-encrypted vectors (encryption is client-side
+	// work and not what is being measured).
+	vecs := [][]*rlwe.Ciphertext{ctV}
+	for i := 0; i < 3; i++ {
+		w := make([]uint64, cols)
+		for j := range w {
+			w[j] = rng.Uint64() % p.T.Q
+		}
+		vecs = append(vecs, core.EncryptVector(p, rng, sk, w))
+	}
+	const perClient = 8
+	res.BatchedReqPerSec, err = throughput(cl, h, vecs, clients, perClient)
+	if err != nil {
+		return nil, err
+	}
+
+	if addrSpec == "self" {
+		// Same fleet against a server pinned to batch size 1: every request
+		// pays the full per-job card dispatch on its own.
+		addr1, close1, err := loopbackServer(p, 1)
+		if err != nil {
+			return nil, err
+		}
+		defer close1()
+		cl1, h1, err := dialRemote(addr1, p, keys, A)
+		if err != nil {
+			return nil, err
+		}
+		defer cl1.Close()
+		res.Batch1ReqPerSec, err = throughput(cl1, h1, vecs, clients, perClient)
+		if err != nil {
+			return nil, err
+		}
+		res.CoalescingSpeedup = res.BatchedReqPerSec / res.Batch1ReqPerSec
+	}
+	return res, nil
+}

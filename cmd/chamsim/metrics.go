@@ -7,14 +7,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
-	"cham/internal/obs"
+	"cham/internal/obs/metricshttp"
 	rt "cham/internal/runtime"
 )
 
@@ -34,27 +31,13 @@ func startMetrics() error {
 	if *metricsAddr == "" {
 		return nil
 	}
-	obs.SetEnabled(true)
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		obs.Default().WriteTo(w)
+	addr, err := metricshttp.Serve(*metricsAddr, func(err error) {
+		fmt.Fprintln(os.Stderr, "chamsim: metrics server:", err)
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ln, err := net.Listen("tcp", *metricsAddr)
 	if err != nil {
 		return fmt.Errorf("chamsim: metrics listener: %w", err)
 	}
-	fmt.Printf("metrics: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
-	go func() {
-		if err := http.Serve(ln, mux); err != nil {
-			fmt.Fprintln(os.Stderr, "chamsim: metrics server:", err)
-		}
-	}()
+	fmt.Printf("metrics: serving /metrics and /debug/pprof on http://%s\n", addr)
 	return nil
 }
 

@@ -1,0 +1,356 @@
+// Package client is the host-side library for chamserve: a small
+// connection pool over the wire protocol with per-request timeouts and
+// jittered exponential backoff for transient failures (dial errors,
+// broken connections, typed overload/drain rejections). Requests are
+// pure compute — applying a registered matrix to a ciphertext has no
+// server-side effects — so retrying after a transport error is safe.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"cham/internal/bfv"
+	"cham/internal/lwe"
+	"cham/internal/obs"
+	"cham/internal/rlwe"
+	"cham/internal/wire"
+)
+
+// Config shapes a Client. Zero values select sensible defaults.
+type Config struct {
+	// Addr is the server's TCP address (required).
+	Addr string
+	// Params must match the server's parameter set (required).
+	Params bfv.Params
+	// MaxConns bounds pooled idle connections (concurrency is unbounded —
+	// extra connections are dialed and discarded). Default 4.
+	MaxConns int
+	// DialTimeout bounds one dial+handshake. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request round trip and rides along as the
+	// Apply deadline hint. Default 30s.
+	RequestTimeout time.Duration
+	// MaxRetries bounds extra attempts after a retryable failure. Default 3;
+	// negative disables retries.
+	MaxRetries int
+	// Backoff is the first retry delay, growing 2x per attempt with equal
+	// jitter, capped at MaxBackoff. Defaults 10ms / 1s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// MaxFrame bounds one accepted response frame. Default wire.DefaultMaxFrame.
+	MaxFrame uint32
+
+	// Sleep and Jitter are injection points for tests; defaults are
+	// time.Sleep and a seeded math/rand source.
+	Sleep  func(time.Duration)
+	Jitter func() float64 // uniform in [0,1)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Addr == "" {
+		return c, fmt.Errorf("client: Config.Addr is required")
+	}
+	if c.Params.R == nil {
+		return c, fmt.Errorf("client: Config.Params is required")
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Jitter == nil {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		var mu sync.Mutex
+		c.Jitter = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return rng.Float64()
+		}
+	}
+	return c, nil
+}
+
+// poolConn is one handshaken connection; at most one request in flight.
+type poolConn struct {
+	c   net.Conn
+	br  *bufio.Reader
+	seq uint16
+	ok  wire.HelloOK
+}
+
+// Client talks to one chamserve instance. Safe for concurrent use; each
+// in-flight request holds its own connection.
+type Client struct {
+	cfg Config
+
+	mu     sync.Mutex
+	idle   []*poolConn
+	closed bool
+}
+
+var (
+	mDials = obs.GetCounter("cham_client_dials_total",
+		"Connections dialed (pool misses).")
+	mRetries = obs.GetCounter("cham_client_retries_total",
+		"Request attempts beyond the first.")
+	mRequests = obs.GetCounter("cham_client_requests_total",
+		"Requests issued, including retried attempts.")
+)
+
+// Dial creates a client. Connections are established lazily.
+func Dial(cfg Config) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// Close releases all pooled connections. In-flight requests fail.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.closed = true
+	for _, pc := range cl.idle {
+		pc.c.Close()
+	}
+	cl.idle = nil
+	return nil
+}
+
+// errTransport wraps connection-level failures so the retry loop can tell
+// them apart from typed server rejections.
+type errTransport struct{ err error }
+
+func (e *errTransport) Error() string { return "cham client: transport: " + e.err.Error() }
+func (e *errTransport) Unwrap() error { return e.err }
+
+// get returns a pooled connection or dials a fresh one (including the
+// Hello handshake).
+func (cl *Client) get() (*poolConn, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("client: closed")
+	}
+	if n := len(cl.idle); n > 0 {
+		pc := cl.idle[n-1]
+		cl.idle = cl.idle[:n-1]
+		cl.mu.Unlock()
+		return pc, nil
+	}
+	cl.mu.Unlock()
+	return cl.dial()
+}
+
+// put parks a healthy connection for reuse.
+func (cl *Client) put(pc *poolConn) {
+	cl.mu.Lock()
+	if !cl.closed && len(cl.idle) < cl.cfg.MaxConns {
+		cl.idle = append(cl.idle, pc)
+		cl.mu.Unlock()
+		return
+	}
+	cl.mu.Unlock()
+	pc.c.Close()
+}
+
+// dial opens and handshakes a fresh connection.
+func (cl *Client) dial() (*poolConn, error) {
+	mDials.Inc()
+	nc, err := net.DialTimeout("tcp", cl.cfg.Addr, cl.cfg.DialTimeout)
+	if err != nil {
+		return nil, &errTransport{err}
+	}
+	pc := &poolConn{c: nc, br: bufio.NewReaderSize(nc, 64<<10)}
+	nc.SetDeadline(time.Now().Add(cl.cfg.DialTimeout))
+	payload, err := pc.roundTrip(cl.cfg.MaxFrame, wire.MsgHello, wire.MsgHelloOK,
+		wire.HelloFor(cl.cfg.Params).Encode())
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	ok, err := wire.DecodeHelloOK(payload)
+	if err != nil {
+		nc.Close()
+		return nil, &errTransport{err}
+	}
+	pc.ok = ok
+	return pc, nil
+}
+
+// roundTrip sends one frame and reads the matching response. A sequence
+// or type mismatch means the stream is desynced and the connection is
+// unusable (the caller must close it).
+func (pc *poolConn) roundTrip(maxFrame uint32, t, want wire.MsgType, payload []byte) ([]byte, error) {
+	pc.seq++
+	if err := wire.WriteFrame(pc.c, t, pc.seq, payload); err != nil {
+		return nil, &errTransport{err}
+	}
+	rt, rseq, rp, err := wire.ReadFrame(pc.br, maxFrame)
+	if err != nil {
+		return nil, &errTransport{err}
+	}
+	if rseq != pc.seq {
+		return nil, &errTransport{fmt.Errorf("response seq %d, want %d (stream desync)", rseq, pc.seq)}
+	}
+	if rt == wire.MsgError {
+		we, derr := wire.DecodeError(rp)
+		if derr != nil {
+			return nil, &errTransport{derr}
+		}
+		return nil, we
+	}
+	if rt != want {
+		return nil, &errTransport{fmt.Errorf("response type %d, want %d", rt, want)}
+	}
+	return rp, nil
+}
+
+// do runs one request with pooling, timeouts, and jittered backoff. The
+// connection returns to the pool only after a fully clean round trip; a
+// typed server rejection keeps the stream in sync, anything else closes
+// the connection.
+func (cl *Client) do(t, want wire.MsgType, payload []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cl.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			mRetries.Inc()
+			cl.cfg.Sleep(cl.backoff(attempt - 1))
+		}
+		mRequests.Inc()
+		pc, err := cl.get()
+		if err == nil {
+			pc.c.SetDeadline(time.Now().Add(cl.cfg.RequestTimeout))
+			var resp []byte
+			resp, err = pc.roundTrip(cl.cfg.MaxFrame, t, want, payload)
+			pc.c.SetDeadline(time.Time{})
+			var we *wire.Error
+			if err == nil || errors.As(err, &we) {
+				cl.put(pc) // stream still in sync
+			} else {
+				pc.c.Close()
+			}
+			if err == nil {
+				return resp, nil
+			}
+		}
+		lastErr = err
+		var we *wire.Error
+		if errors.As(err, &we) && !we.Retryable() {
+			return nil, err // the request itself is bad; retrying cannot help
+		}
+	}
+	return nil, lastErr
+}
+
+// backoff computes the delay before retry attempt i (0-based) with equal
+// jitter: half deterministic growth, half uniform random.
+func (cl *Client) backoff(i int) time.Duration {
+	d := cl.cfg.Backoff << uint(i)
+	if d > cl.cfg.MaxBackoff || d <= 0 {
+		d = cl.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(cl.cfg.Jitter()*float64(half))
+}
+
+// Hello returns the server's handshake echo (engines, batch limit),
+// dialing a connection if none is pooled.
+func (cl *Client) Hello() (wire.HelloOK, error) {
+	pc, err := cl.get()
+	if err != nil {
+		return wire.HelloOK{}, err
+	}
+	ok := pc.ok
+	cl.put(pc)
+	return ok, nil
+}
+
+// Ping round-trips an empty frame.
+func (cl *Client) Ping() error {
+	_, err := cl.do(wire.MsgPing, wire.MsgPong, nil)
+	return err
+}
+
+// SetupKeys installs the packing-key set and returns its canonical hash.
+// Idempotent: re-sending the same set succeeds with the same hash.
+func (cl *Client) SetupKeys(keys *lwe.PackingKeys) ([32]byte, error) {
+	payload := wire.EncodeSetupKeys(cl.cfg.Params.R, keys)
+	resp, err := cl.do(wire.MsgSetupKeys, wire.MsgSetupKeysOK, payload)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	ok, err := wire.DecodeSetupKeysOK(resp)
+	if err != nil {
+		return [32]byte{}, &errTransport{err}
+	}
+	return ok.KeyHash, nil
+}
+
+// RegisterMatrix uploads and prepares a matrix, returning its handle.
+// Registration is idempotent by content hash.
+func (cl *Client) RegisterMatrix(A [][]uint64) (wire.MatrixHandle, error) {
+	payload, err := wire.EncodeRegisterMatrix(A)
+	if err != nil {
+		return wire.MatrixHandle{}, err
+	}
+	resp, err := cl.do(wire.MsgRegisterMatrix, wire.MsgMatrixHandle, payload)
+	if err != nil {
+		return wire.MatrixHandle{}, err
+	}
+	h, err := wire.DecodeMatrixHandle(resp)
+	if err != nil {
+		return wire.MatrixHandle{}, &errTransport{err}
+	}
+	return h, nil
+}
+
+// Apply multiplies a registered matrix with an encrypted vector and
+// returns the packed result. The request carries RequestTimeout as its
+// server-side deadline hint.
+func (cl *Client) Apply(id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, error) {
+	payload := wire.EncodeApply(cl.cfg.Params.R, wire.Apply{
+		ID:             id,
+		DeadlineMicros: uint64(cl.cfg.RequestTimeout / time.Microsecond),
+		Vector:         vec,
+	})
+	resp, err := cl.do(wire.MsgApply, wire.MsgResult, payload)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	res, err := wire.DecodeResult(cl.cfg.Params.R, resp)
+	if err != nil {
+		return wire.Result{}, &errTransport{err}
+	}
+	return res, nil
+}

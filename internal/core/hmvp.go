@@ -63,6 +63,24 @@ func NewEvaluator(p bfv.Params, rng *rand.Rand, sk *rlwe.SecretKey, maxRows int)
 	return &Evaluator{P: p, Keys: keys}, nil
 }
 
+// NewEvaluatorFromKeys returns an evaluator over an existing packing-key
+// set — the serving-tier constructor, where the keys arrive over the wire
+// from the client holding the secret rather than being generated locally.
+func NewEvaluatorFromKeys(p bfv.Params, keys *lwe.PackingKeys) (*Evaluator, error) {
+	if keys == nil {
+		return nil, fmt.Errorf("core: nil packing keys")
+	}
+	if keys.M < 1 || keys.M&(keys.M-1) != 0 || keys.M > p.R.N {
+		return nil, fmt.Errorf("core: packing-key M=%d must be a power of two in [1,N]", keys.M)
+	}
+	for i := 1; i < keys.M; i <<= 1 {
+		if keys.Keys[2*i+1] == nil {
+			return nil, fmt.Errorf("core: packing-key set for M=%d misses automorphism key %d", keys.M, 2*i+1)
+		}
+	}
+	return &Evaluator{P: p, Keys: keys}, nil
+}
+
 func nextPow2(x int) int {
 	if x <= 1 {
 		return 1

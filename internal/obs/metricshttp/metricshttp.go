@@ -1,0 +1,46 @@
+// Package metricshttp serves the obs registry over HTTP. It lives apart
+// from internal/obs so the metrics library itself never links net/http
+// into the hot-path packages; only binaries that actually expose an
+// endpoint (chamsim, chamserve) pay for it.
+package metricshttp
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"cham/internal/obs"
+)
+
+// Handler returns a mux with /metrics (Prometheus text format) and the
+// stdlib /debug/pprof handlers.
+func Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default().WriteTo(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve enables telemetry and serves the endpoint on addr for the life
+// of the process, returning the bound address (useful with ":0"). Errors
+// after the listener is up are reported through errf if non-nil.
+func Serve(addr string, errf func(error)) (net.Addr, error) {
+	obs.SetEnabled(true)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := http.Serve(ln, Handler()); err != nil && errf != nil {
+			errf(err)
+		}
+	}()
+	return ln.Addr(), nil
+}

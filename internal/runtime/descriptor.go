@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -69,9 +70,16 @@ func ParseHMVPDescriptor(words []uint64) (*HMVPDescriptor, error) {
 
 // RunHMVP loads the descriptor and executes it as one accelerator job.
 func (rt *Runtime) RunHMVP(d *HMVPDescriptor) error {
+	return rt.RunHMVPCtx(context.Background(), d)
+}
+
+// RunHMVPCtx is RunHMVP bounded by a context (see RunJobCtx): the serving
+// tier uses it so a request whose deadline expired while queued never
+// occupies an engine slot.
+func (rt *Runtime) RunHMVPCtx(ctx context.Context, d *HMVPDescriptor) error {
 	words, err := d.Words()
 	if err != nil {
 		return err
 	}
-	return rt.RunJob(words)
+	return rt.RunJobCtx(ctx, words)
 }

@@ -1,11 +1,17 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"cham/internal/obs"
 )
+
+// ErrWaitTimeout marks a WaitJob that gave up at its deadline, as
+// opposed to a device-reported failure; RunJobCtx uses it to tell a
+// deadline-capped wait apart from a hung card.
+var ErrWaitTimeout = errors.New("timed out")
 
 // Driver is the low-level access layer: verified register loads, job
 // dispatch, and reset. It implements the first RAS feature the paper
@@ -103,7 +109,7 @@ func (dr *Driver) WaitJob(engine int, timeout time.Duration) (uint64, error) {
 			return s, nil
 		}
 		if time.Now().After(deadline) {
-			return 0, fmt.Errorf("runtime: engine %d timed out after %v", engine, timeout)
+			return 0, fmt.Errorf("runtime: engine %d %w after %v", engine, ErrWaitTimeout, timeout)
 		}
 		time.Sleep(50 * time.Microsecond)
 	}

@@ -24,6 +24,8 @@ var (
 		"Card power-cycle recoveries.")
 	mRecovered = obs.GetCounter("cham_runtime_recovered_writes_total",
 		"Register loads or doorbells that needed a retry.")
+	mCtxAborts = obs.GetCounter("cham_runtime_ctx_aborts_total",
+		"Jobs abandoned because the caller's context expired or was canceled.")
 	mTempC = obs.GetGauge("cham_runtime_temp_celsius",
 		"Die temperature at the last health check.")
 	mAlive = obs.GetGauge("cham_runtime_alive",

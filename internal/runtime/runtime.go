@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -88,15 +90,39 @@ func (rt *Runtime) Driver() *Driver { return rt.dr }
 // configuration words, rings the doorbell, and waits. Hangs and job
 // errors trigger reset-and-replay up to MaxReplays.
 func (rt *Runtime) RunJob(config []uint64) error {
+	return rt.RunJobCtx(context.Background(), config)
+}
+
+// RunJobCtx is RunJob bounded by a context: a request-scoped deadline or
+// cancellation aborts the job while it is still queued for an engine
+// (instead of occupying a slot), caps the hardware wait to the remaining
+// budget, and suppresses replays once the caller has given up. A context
+// abort surfaces as ctx.Err(), so callers can errors.Is it apart from
+// card failures.
+func (rt *Runtime) RunJobCtx(ctx context.Context, config []uint64) error {
 	on := obs.On()
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if on {
+				mCtxAborts.Inc()
+			}
+			return err
+		}
 		gen := rt.generation()
-		err := rt.runOnce(config)
+		err := rt.runOnce(ctx, config)
 		if err == nil {
 			if on {
 				mJobsOK.Inc()
 			}
 			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's deadline expired mid-job: not a card fault, so it
+			// is not replayed and not counted against the RAS counters.
+			if on {
+				mCtxAborts.Inc()
+			}
+			return ctx.Err()
 		}
 		rt.mu.Lock()
 		rt.replays++
@@ -120,10 +146,20 @@ func (rt *Runtime) generation() int {
 	return rt.gen
 }
 
-func (rt *Runtime) runOnce(config []uint64) error {
+func (rt *Runtime) runOnce(ctx context.Context, config []uint64) error {
 	rt.op.RLock()
 	defer rt.op.RUnlock()
-	engine := <-rt.free
+	var engine int
+	select {
+	case engine = <-rt.free:
+	default:
+		// All engines busy: wait for a slot or the caller's context.
+		select {
+		case engine = <-rt.free:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 	defer func() { rt.free <- engine }()
 	on := obs.On()
 	var t0 time.Time
@@ -148,11 +184,29 @@ func (rt *Runtime) runOnce(config []uint64) error {
 	if on {
 		tw = time.Now()
 	}
-	status, err := rt.dr.WaitJob(engine, rt.JobTimeout)
+	// Cap the hardware wait to the caller's remaining budget so an expired
+	// request releases its engine at the deadline, not at the watchdog.
+	wait := rt.JobTimeout
+	capped := false
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+			capped = true
+		}
+	}
+	status, err := rt.dr.WaitJob(engine, wait)
 	if on {
 		mWaitSec.Observe(time.Since(tw).Seconds())
 	}
 	if err != nil {
+		if capped && errors.Is(err, ErrWaitTimeout) {
+			// The wait was cut short by the caller's deadline, not the
+			// watchdog: surface the context error (the deadline may lag the
+			// capped wait by a scheduling quantum, so block on it) and don't
+			// charge the card with a fault.
+			<-ctx.Done()
+			return ctx.Err()
+		}
 		return err
 	}
 	if status != JobDone {

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -283,4 +285,107 @@ func TestHistoryIsACopy(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+func TestRunJobCtxCanceledBeforeStart(t *testing.T) {
+	rt := healthyRuntime(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := rt.RunJobCtx(ctx, []uint64{1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if jobs, _ := rt.dr.dev.Stats(); jobs != 0 {
+		t.Fatalf("canceled job still ran (%d jobs)", jobs)
+	}
+	if rt.Replays() != 0 {
+		t.Fatalf("context abort counted as replay")
+	}
+}
+
+func TestRunJobCtxAbortsWhileQueued(t *testing.T) {
+	// One slow engine: the first job occupies it, the second must abort at
+	// its deadline while still waiting for the slot — it never occupies an
+	// engine and never executes on the device.
+	dev := NewDevice(1, 50*time.Millisecond, FaultPlan{})
+	rt, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.JobTimeout = time.Second
+
+	started := make(chan struct{})
+	firstDone := make(chan error, 1)
+	go func() {
+		close(started)
+		firstDone <- rt.RunJob([]uint64{1})
+	}()
+	<-started
+	// Give the first job time to claim the engine.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if len(rt.free) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never claimed the engine")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	err = rt.RunJobCtx(ctx, []uint64{2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if waited := time.Since(t0); waited > 40*time.Millisecond {
+		t.Fatalf("queued abort took %v, should return at the deadline", waited)
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first job: %v", err)
+	}
+	if jobs, _ := dev.Stats(); jobs != 1 {
+		t.Fatalf("device ran %d jobs, want 1 (aborted job must not execute)", jobs)
+	}
+}
+
+func TestRunJobCtxDeadlineCapsHardwareWait(t *testing.T) {
+	// The job takes 50 ms but the context allows 5 ms: the wait must stop
+	// at the context deadline, not the 1 s watchdog, and surface ctx.Err().
+	dev := NewDevice(1, 50*time.Millisecond, FaultPlan{})
+	rt, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.JobTimeout = time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	if err := rt.RunJobCtx(ctx, []uint64{1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if waited := time.Since(t0); waited > 40*time.Millisecond {
+		t.Fatalf("deadline-capped wait took %v", waited)
+	}
+	if rt.Replays() != 0 {
+		t.Fatalf("context abort was replayed %d times", rt.Replays())
+	}
+}
+
+func TestRunHMVPCtx(t *testing.T) {
+	rt := healthyRuntime(t, 2)
+	d := &HMVPDescriptor{
+		Rows: 16, Cols: 64,
+		MatrixAddr: 0x1000, VectorAddr: 0x2000, KeyAddr: 0x3000, ResultAddr: 0x4000,
+		PackRowsLog2: 4,
+	}
+	if err := rt.RunHMVPCtx(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := rt.RunHMVPCtx(ctx, d); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
 }

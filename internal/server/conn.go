@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"net"
+	"sync"
+	"time"
+
+	"cham/internal/core"
+	"cham/internal/wire"
+)
+
+// serverConn is one client connection. Reads happen on the connection's
+// own goroutine; writes are serialized by wmu because batch workers and
+// the read loop respond concurrently.
+type serverConn struct {
+	s   *Server
+	c   net.Conn
+	br  *bufio.Reader
+	wmu sync.Mutex
+
+	hello bool // parameter handshake completed
+}
+
+// send writes one frame; write errors are swallowed (the read loop will
+// observe the broken connection and tear it down).
+func (c *serverConn) send(t wire.MsgType, seq uint16, payload []byte) {
+	buf := wire.AppendFrame(nil, t, seq, payload)
+	c.wmu.Lock()
+	_, err := c.c.Write(buf)
+	c.wmu.Unlock()
+	if err == nil {
+		mBytesTx.Add(uint64(len(buf)))
+	}
+}
+
+// sendErr answers a request with a typed error.
+func (c *serverConn) sendErr(seq uint16, e *wire.Error) {
+	mErrors.Inc()
+	countReject(e)
+	c.send(wire.MsgError, seq, e.Encode())
+}
+
+// handleConn runs one connection's read loop until the peer hangs up, a
+// frame is malformed beyond recovery, or the server closes the socket.
+func (s *Server) handleConn(nc net.Conn) {
+	c := &serverConn{s: s, c: nc, br: bufio.NewReaderSize(nc, 64<<10)}
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, nc)
+		s.connMu.Unlock()
+		nc.Close()
+		mConns.Add(-1)
+	}()
+	for {
+		t, seq, payload, err := wire.ReadFrame(c.br, s.cfg.MaxFrame)
+		if err != nil {
+			// Includes io.EOF on clean hang-up and frame-level corruption —
+			// after a desync there is no way to resynchronize the stream.
+			return
+		}
+		mBytesRx.Add(uint64(frameLen(payload)))
+		if m, ok := mRequests[t]; ok {
+			m.Inc()
+		}
+		if !c.hello && t != wire.MsgHello && t != wire.MsgPing {
+			c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "handshake required before %v", t))
+			continue
+		}
+		switch t {
+		case wire.MsgHello:
+			s.handleHello(c, seq, payload)
+		case wire.MsgSetupKeys:
+			s.handleSetupKeys(c, seq, payload)
+		case wire.MsgRegisterMatrix:
+			s.handleRegisterMatrix(c, seq, payload)
+		case wire.MsgApply:
+			s.handleApply(c, seq, payload)
+		case wire.MsgPing:
+			c.send(wire.MsgPong, seq, payload)
+		default:
+			c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "unexpected message type %d", t))
+		}
+	}
+}
+
+// frameLen is the on-wire size of a frame with this payload.
+func frameLen(payload []byte) int { return 12 + len(payload) }
+
+// handleHello checks the parameter handshake bit-for-bit.
+func (s *Server) handleHello(c *serverConn, seq uint16, payload []byte) {
+	h, err := wire.DecodeHello(payload)
+	if err != nil {
+		c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "hello: %v", err))
+		return
+	}
+	if want := wire.HelloFor(s.cfg.Params); h != want {
+		c.sendErr(seq, wire.Errf(wire.CodeParamsMismatch,
+			"client params N=%d levels=%d/%d t=%d, server has N=%d levels=%d/%d t=%d",
+			h.RingN, h.Levels, h.NormalLevels, h.T,
+			want.RingN, want.Levels, want.NormalLevels, want.T))
+		return
+	}
+	c.hello = true
+	ok := wire.HelloOK{
+		Hello:    wire.HelloFor(s.cfg.Params),
+		Engines:  s.engines(),
+		MaxBatch: uint32(s.cfg.MaxBatch),
+	}
+	c.send(wire.MsgHelloOK, seq, ok.Encode())
+}
+
+// handleSetupKeys installs the packing-key set. One key set per server:
+// re-sending the same set (by canonical hash) is idempotent, a different
+// set is a conflict — registered matrices are prepared against the
+// installed keys and silently swapping them would corrupt results.
+func (s *Server) handleSetupKeys(c *serverConn, seq uint16, payload []byte) {
+	r := s.cfg.Params.R
+	keys, err := wire.DecodeSetupKeys(r, payload)
+	if err != nil {
+		c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "setup keys: %v", err))
+		return
+	}
+	// Hash the canonical re-encoding, not the received payload, so the
+	// idempotency check is about key content rather than byte layout.
+	hash := sha256.Sum256(wire.EncodeSetupKeys(r, keys))
+
+	s.mu.Lock()
+	if s.haveKeys {
+		same := s.keyHash == hash
+		installed := s.keyHash
+		s.mu.Unlock()
+		if same {
+			c.send(wire.MsgSetupKeysOK, seq, wire.SetupKeysOK{KeyHash: hash}.Encode())
+			return
+		}
+		c.sendErr(seq, wire.Errf(wire.CodeKeysConflict,
+			"server already holds key set %x", installed[:8]))
+		return
+	}
+	ev, err := core.NewEvaluatorFromKeys(s.cfg.Params, keys)
+	if err != nil {
+		s.mu.Unlock()
+		c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "setup keys: %v", err))
+		return
+	}
+	ev.Workers = s.cfg.EvalWorkers
+	s.ev = ev
+	s.keyHash = hash
+	s.haveKeys = true
+	s.mu.Unlock()
+	c.send(wire.MsgSetupKeysOK, seq, wire.SetupKeysOK{KeyHash: hash}.Encode())
+}
+
+// handleRegisterMatrix prepares a matrix once and names it by content
+// hash. Re-registering is idempotent and cheap: the hash lookup answers
+// from the registry without touching the NTT.
+func (s *Server) handleRegisterMatrix(c *serverConn, seq uint16, payload []byte) {
+	s.mu.RLock()
+	ev := s.ev
+	s.mu.RUnlock()
+	if ev == nil {
+		c.sendErr(seq, wire.Errf(wire.CodeKeysRequired, "register matrix before SetupKeys"))
+		return
+	}
+	// The RegisterMatrix layout is canonical (rows, cols, row-major values),
+	// so the payload hash IS wire.MatrixID of the decoded matrix.
+	id := sha256.Sum256(payload)
+	s.mu.RLock()
+	reg := s.matrices[id]
+	s.mu.RUnlock()
+	if reg != nil {
+		c.send(wire.MsgMatrixHandle, seq, reg.handle.Encode())
+		return
+	}
+	A, err := wire.DecodeRegisterMatrix(s.cfg.Params.T.Q, payload)
+	if err != nil {
+		c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "register matrix: %v", err))
+		return
+	}
+	// Prepare outside the lock: it is the expensive half of the pipeline and
+	// must not block concurrent applies against other matrices.
+	pm, err := ev.Prepare(A)
+	if err != nil {
+		c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "prepare: %v", err))
+		return
+	}
+	reg = &regMatrix{
+		pm: pm,
+		handle: wire.MatrixHandle{
+			ID:     id,
+			Rows:   uint32(pm.Rows()),
+			Cols:   uint32(pm.Cols()),
+			Chunks: uint32(pm.Chunks()),
+			Tiles:  uint32(pm.Tiles()),
+		},
+		packLog2: packRowsLog2(pm.Rows(), s.cfg.Params.R.N),
+	}
+	s.mu.Lock()
+	if prior := s.matrices[id]; prior != nil {
+		reg = prior // a concurrent registration won; use its prepared form
+	} else {
+		s.matrices[id] = reg
+		mMatrices.Set(float64(len(s.matrices)))
+	}
+	s.mu.Unlock()
+	c.send(wire.MsgMatrixHandle, seq, reg.handle.Encode())
+}
+
+// packRowsLog2 is log2 of the largest padded tile for an m-row matrix
+// over ring degree n (the card descriptor's pack-tree depth).
+func packRowsLog2(m, n int) uint8 {
+	rows := m
+	if rows > n {
+		rows = n
+	}
+	l := uint8(0)
+	for 1<<l < rows {
+		l++
+	}
+	return l
+}
+
+// handleApply decodes, validates, and admits one apply request; the
+// response is sent later by a batch worker.
+func (s *Server) handleApply(c *serverConn, seq uint16, payload []byte) {
+	s.mu.RLock()
+	haveKeys := s.haveKeys
+	s.mu.RUnlock()
+	if !haveKeys {
+		c.sendErr(seq, wire.Errf(wire.CodeKeysRequired, "apply before SetupKeys"))
+		return
+	}
+	a, err := wire.DecodeApply(s.cfg.Params.R, payload)
+	if err != nil {
+		c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "apply: %v", err))
+		return
+	}
+	s.mu.RLock()
+	reg := s.matrices[a.ID]
+	s.mu.RUnlock()
+	if reg == nil {
+		c.sendErr(seq, wire.Errf(wire.CodeUnknownMatrix, "matrix %x not registered", a.ID[:8]))
+		return
+	}
+	if len(a.Vector) != int(reg.handle.Chunks) {
+		c.sendErr(seq, wire.Errf(wire.CodeBadRequest,
+			"vector has %d chunks, matrix needs %d", len(a.Vector), reg.handle.Chunks))
+		return
+	}
+	budget := s.cfg.DefaultDeadline
+	if a.DeadlineMicros > 0 {
+		if d := time.Duration(a.DeadlineMicros) * time.Microsecond; d < budget {
+			budget = d
+		}
+	}
+	now := time.Now()
+	req := &request{
+		mat:      reg,
+		vec:      a.Vector,
+		conn:     c,
+		seq:      seq,
+		enqueued: now,
+		deadline: now.Add(budget),
+	}
+	if e := s.admit(req); e != nil {
+		c.sendErr(seq, e)
+	}
+}

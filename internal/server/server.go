@@ -1,0 +1,435 @@
+// Package server is chamserve's core: a TCP job service that turns the
+// in-process HMVP engine into a networked accelerator tier. Clients
+// register cleartext matrices (named by content hash, prepared once into
+// evaluation-ready form) and stream encrypted vectors at them; the server
+// coalesces concurrent single-vector requests into batches, mirrors each
+// batch as one descriptor job on the accelerator runtime's engine pool,
+// and applies admission control so overload degrades into fast typed
+// rejections instead of collapse.
+//
+// The paper's heterogeneous host+card system (§III-C) keeps engines
+// saturated by interleaving transfer and compute; this package is the
+// same idea one tier up: the admission queue decouples arrival from
+// service, the batcher amortizes per-job dispatch across coalesced
+// requests, and per-request deadlines abort work that nobody is waiting
+// for anymore. Everything is observable through the cham_server_*
+// families in internal/obs.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cham/internal/bfv"
+	"cham/internal/core"
+	"cham/internal/rlwe"
+	rt "cham/internal/runtime"
+	"cham/internal/wire"
+)
+
+// Config shapes a Server. The zero value of every field selects a
+// production-reasonable default.
+type Config struct {
+	// Params is the parameter set every client must match (required).
+	Params bfv.Params
+	// MaxBatch bounds how many coalesced requests one batch may carry;
+	// 1 disables coalescing. Default 16.
+	MaxBatch int
+	// Linger is how long the batcher waits for the batch to fill before
+	// dispatching it short. Default 2ms.
+	Linger time.Duration
+	// QueueDepth bounds the admission queue; requests beyond it are
+	// rejected with CodeOverloaded. Default 256.
+	QueueDepth int
+	// DefaultDeadline bounds queue wait + service for requests that do not
+	// carry their own deadline. Default 5s.
+	DefaultDeadline time.Duration
+	// Workers is the number of batch executors. Default GOMAXPROCS.
+	Workers int
+	// EvalWorkers is the per-apply parallelism of the shared evaluator
+	// (Evaluator.Workers). Default 0 = GOMAXPROCS.
+	EvalWorkers int
+	// MaxFrame bounds one accepted wire frame. Default wire.DefaultMaxFrame.
+	MaxFrame uint32
+	// Card, when non-nil, mirrors every dispatched batch as one HMVP
+	// descriptor job on the simulated accelerator's engine pool, so batch
+	// coalescing amortizes real per-job dispatch cost.
+	Card *rt.Runtime
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Params.R == nil {
+		return c, fmt.Errorf("server: Config.Params is required")
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.Linger <= 0 {
+		c.Linger = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	return c, nil
+}
+
+// regMatrix is one registered matrix: prepared once, applied many times,
+// with a pool of result buffers so steady-state applies reuse memory.
+type regMatrix struct {
+	pm       *core.PreparedMatrix
+	handle   wire.MatrixHandle
+	packLog2 uint8
+	pool     sync.Pool // *core.Result
+}
+
+func (m *regMatrix) getResult() *core.Result {
+	if res, ok := m.pool.Get().(*core.Result); ok {
+		return res
+	}
+	return m.pm.NewResult()
+}
+
+func (m *regMatrix) putResult(res *core.Result) { m.pool.Put(res) }
+
+// request is one admitted Apply, from enqueue to response.
+type request struct {
+	mat      *regMatrix
+	vec      []*rlwe.Ciphertext
+	conn     *serverConn
+	seq      uint16
+	enqueued time.Time
+	deadline time.Time
+}
+
+// Server is a running chamserve instance.
+type Server struct {
+	cfg Config
+
+	mu       sync.RWMutex // guards ev, keyHash, matrices
+	ev       *core.Evaluator
+	haveKeys bool
+	keyHash  [32]byte
+	matrices map[[32]byte]*regMatrix
+
+	// enqMu serializes admission against drain: enqueuers hold the read
+	// side, Shutdown flips draining under the write side, so no request
+	// can slip into the queue after the drain barrier.
+	enqMu    sync.RWMutex
+	draining bool
+	queue    chan *request
+	batches  chan []*request
+
+	reqWG  sync.WaitGroup // admitted requests not yet responded to
+	workWG sync.WaitGroup // dispatcher + workers
+
+	ln        atomic.Pointer[net.Listener]
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+	closeOnce sync.Once
+}
+
+// New builds a server and starts its dispatcher and worker pool; call
+// Serve (or ListenAndServe) to accept connections.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		matrices: map[[32]byte]*regMatrix{},
+		queue:    make(chan *request, cfg.QueueDepth),
+		batches:  make(chan []*request, cfg.Workers),
+		conns:    map[net.Conn]struct{}{},
+	}
+	s.workWG.Add(1 + cfg.Workers)
+	go s.dispatch()
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until the listener is closed (by
+// Shutdown). It returns nil on a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln.Store(&ln)
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		mConns.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Addr reports the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	if p := s.ln.Load(); p != nil {
+		return (*p).Addr()
+	}
+	return nil
+}
+
+func (s *Server) isDraining() bool {
+	s.enqMu.RLock()
+	defer s.enqMu.RUnlock()
+	return s.draining
+}
+
+// Shutdown drains gracefully: stop accepting, reject new applies with
+// CodeDraining, finish every admitted request, then stop the workers and
+// close remaining connections. ctx bounds the wait; on expiry the error
+// is returned after connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.enqMu.Lock()
+	s.draining = true
+	s.enqMu.Unlock()
+	if p := s.ln.Load(); p != nil {
+		(*p).Close()
+	}
+	err := waitCtx(ctx, &s.reqWG)
+	s.closeOnce.Do(func() { close(s.queue) })
+	if err == nil {
+		err = waitCtx(ctx, &s.workWG)
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.connMu.Unlock()
+	return err
+}
+
+// waitCtx waits for wg or the context, whichever first.
+func waitCtx(ctx context.Context, wg *sync.WaitGroup) error {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Matrices reports how many matrices are registered.
+func (s *Server) Matrices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.matrices)
+}
+
+// engines reports the mirrored card's engine count (0 without a card).
+func (s *Server) engines() uint32 {
+	if s.cfg.Card == nil {
+		return 0
+	}
+	return uint32(s.cfg.Card.Engines())
+}
+
+// admit runs admission control for one decoded Apply and either enqueues
+// it (returning true) or reports the typed rejection to send.
+func (s *Server) admit(req *request) *wire.Error {
+	s.enqMu.RLock()
+	defer s.enqMu.RUnlock()
+	if s.draining {
+		return wire.Errf(wire.CodeDraining, "server is shutting down")
+	}
+	s.reqWG.Add(1)
+	select {
+	case s.queue <- req:
+		mQueueDepth.Add(1)
+		return nil
+	default:
+		s.reqWG.Done()
+		return wire.Errf(wire.CodeOverloaded, "admission queue full (%d deep)", s.cfg.QueueDepth)
+	}
+}
+
+// dispatch pulls admitted requests and coalesces them into batches.
+func (s *Server) dispatch() {
+	defer s.workWG.Done()
+	defer close(s.batches)
+	for {
+		req, ok := <-s.queue
+		if !ok {
+			return
+		}
+		mQueueDepth.Add(-1)
+		s.batches <- s.collect(req)
+	}
+}
+
+// collect grows a batch around first: same matrix, up to MaxBatch
+// requests, waiting at most Linger for stragglers. A request for a
+// different matrix flushes the current batch and seeds the next one.
+func (s *Server) collect(first *request) []*request {
+	batch := []*request{first}
+	if s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.Linger)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case req, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			mQueueDepth.Add(-1)
+			if req.mat != batch[0].mat {
+				s.batches <- batch
+				batch = []*request{req}
+				continue
+			}
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// worker executes batches until the batch channel closes.
+func (s *Server) worker() {
+	defer s.workWG.Done()
+	for batch := range s.batches {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch serves one coalesced batch: expire stale requests, mirror the
+// batch as a single descriptor job on the card's engine pool, then apply
+// the prepared matrix to each vector, reusing pooled result buffers.
+func (s *Server) runBatch(batch []*request) {
+	now := time.Now()
+	live := batch[:0]
+	var latest time.Time
+	for _, req := range batch {
+		if now.After(req.deadline) {
+			s.finishErr(req, wire.Errf(wire.CodeDeadline,
+				"deadline expired after %v in queue", now.Sub(req.enqueued).Round(time.Microsecond)))
+			continue
+		}
+		mWaitSec.Observe(now.Sub(req.enqueued).Seconds())
+		if req.deadline.After(latest) {
+			latest = req.deadline
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	mBatchSize.Observe(float64(len(live)))
+
+	if s.cfg.Card != nil {
+		// One descriptor job per coalesced batch: config-load, doorbell and
+		// status-poll cost is paid once for up to MaxBatch vectors. The
+		// context carries the latest live deadline, so a batch nobody is
+		// waiting for anymore aborts while queued for an engine.
+		ctx, cancel := context.WithDeadline(context.Background(), latest)
+		err := s.cfg.Card.RunHMVPCtx(ctx, live[0].mat.descriptor())
+		cancel()
+		if err != nil {
+			for _, req := range live {
+				if time.Now().After(req.deadline) || errors.Is(err, context.DeadlineExceeded) {
+					s.finishErr(req, wire.Errf(wire.CodeDeadline, "deadline expired on the engine queue"))
+				} else {
+					s.finishErr(req, wire.Errf(wire.CodeInternal, "accelerator job failed: %v", err))
+				}
+			}
+			return
+		}
+	}
+
+	r := s.cfg.Params.R
+	for _, req := range live {
+		if time.Now().After(req.deadline) {
+			s.finishErr(req, wire.Errf(wire.CodeDeadline, "deadline expired before service"))
+			continue
+		}
+		t0 := time.Now()
+		mat := req.mat
+		res := mat.getResult()
+		if err := mat.pm.ApplyInto(res, req.vec); err != nil {
+			mat.putResult(res)
+			s.finishErr(req, wire.Errf(wire.CodeBadRequest, "apply: %v", err))
+			continue
+		}
+		payload := wire.EncodeResult(r, wire.Result{
+			M:      uint32(res.M),
+			N:      uint32(res.N),
+			Packed: res.Packed,
+		})
+		mat.putResult(res)
+		mServeSec.Observe(time.Since(t0).Seconds())
+		mApplies.Inc()
+		s.finish(req, wire.MsgResult, payload)
+	}
+}
+
+// finish sends a success response and retires the request.
+func (s *Server) finish(req *request, t wire.MsgType, payload []byte) {
+	req.conn.send(t, req.seq, payload)
+	s.reqWG.Done()
+}
+
+// finishErr sends a typed failure and retires the request.
+func (s *Server) finishErr(req *request, e *wire.Error) {
+	mErrors.Inc()
+	countReject(e)
+	req.conn.send(wire.MsgError, req.seq, e.Encode())
+	s.reqWG.Done()
+}
+
+// descriptor builds the card-side job configuration for one batch over
+// this matrix (fixed DDR layout; the simulation models dispatch cost, not
+// data placement).
+func (m *regMatrix) descriptor() *rt.HMVPDescriptor {
+	return &rt.HMVPDescriptor{
+		Rows:         m.handle.Rows,
+		Cols:         m.handle.Cols,
+		MatrixAddr:   0x1000_0000,
+		VectorAddr:   0x2000_0000,
+		KeyAddr:      0x3000_0000,
+		ResultAddr:   0x4000_0000,
+		PackRowsLog2: m.packLog2,
+	}
+}

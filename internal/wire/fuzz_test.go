@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cham/internal/bfv"
+	"cham/internal/core"
+	"cham/internal/lwe"
+	"cham/internal/rlwe"
+)
+
+var wireFuzz struct {
+	once sync.Once
+	p    bfv.Params
+	sk   *rlwe.SecretKey
+	keys *lwe.PackingKeys
+	err  error
+}
+
+func wireFuzzSetup() error {
+	wireFuzz.once.Do(func() {
+		p, err := bfv.NewChamParams(32)
+		if err != nil {
+			wireFuzz.err = err
+			return
+		}
+		rng := rand.New(rand.NewSource(7))
+		sk := p.KeyGen(rng)
+		keys, err := lwe.GenPackingKeys(p, rng, sk, 8)
+		if err != nil {
+			wireFuzz.err = err
+			return
+		}
+		wireFuzz.p, wireFuzz.sk, wireFuzz.keys = p, sk, keys
+	})
+	return wireFuzz.err
+}
+
+// FuzzWireRoundTrip checks encode∘decode identity on fuzz-chosen protocol
+// objects: matrices, apply requests, results and errors must survive a
+// trip through their encodings bit for bit.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(40), int64(1), uint16(3))
+	f.Add(uint8(7), uint8(90), int64(-9), uint16(1))
+	f.Add(uint8(1), uint8(1), int64(0), uint16(9))
+	f.Fuzz(func(t *testing.T, rowsSel, colsSel uint8, seed int64, code uint16) {
+		if err := wireFuzzSetup(); err != nil {
+			t.Fatal(err)
+		}
+		p := wireFuzz.p
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + int(rowsSel)%8
+		cols := 1 + int(colsSel)%(3*p.R.N)
+
+		// Matrix: canonical encoding, stable ID, exact values back.
+		A := make([][]uint64, rows)
+		for i := range A {
+			A[i] = make([]uint64, cols)
+			for j := range A[i] {
+				A[i][j] = rng.Uint64() % p.T.Q
+			}
+		}
+		payload, err := EncodeRegisterMatrix(A)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRegisterMatrix(p.T.Q, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range A {
+			for j := range A[i] {
+				if got[i][j] != A[i][j] {
+					t.Fatalf("matrix entry (%d,%d) changed", i, j)
+				}
+			}
+		}
+		payload2, _ := EncodeRegisterMatrix(got)
+		if !bytes.Equal(payload, payload2) {
+			t.Fatal("matrix encoding not canonical")
+		}
+
+		// Apply + Result with a real encrypted vector.
+		v := make([]uint64, cols)
+		for j := range v {
+			v[j] = rng.Uint64() % p.T.Q
+		}
+		ctV := core.EncryptVector(p, rng, wireFuzz.sk, v)
+		a := Apply{DeadlineMicros: uint64(seed)}
+		a.Vector = ctV
+		id, err := MatrixID(A)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.ID = id
+		back, err := DecodeApply(p.R, EncodeApply(p.R, a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.ID != a.ID || back.DeadlineMicros != a.DeadlineMicros || len(back.Vector) != len(ctV) {
+			t.Fatal("apply header changed")
+		}
+		for c := range ctV {
+			if !sameCiphertext(back.Vector[c], ctV[c]) {
+				t.Fatalf("apply chunk %d changed", c)
+			}
+		}
+		res := Result{M: uint32(rows), N: uint32(p.R.N), Packed: []*rlwe.Ciphertext{
+			p.EncryptZeroSym(rng, wireFuzz.sk, p.NormalLevels),
+		}}
+		backRes, err := DecodeResult(p.R, EncodeResult(p.R, res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if backRes.M != res.M || backRes.N != res.N || !sameCiphertext(backRes.Packed[0], res.Packed[0]) {
+			t.Fatal("result changed")
+		}
+
+		// Errors round-trip for any code.
+		e := Errf(code, "seed %d", seed)
+		backErr, err := DecodeError(e.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if backErr.Code != e.Code || backErr.Detail != e.Detail {
+			t.Fatal("error changed")
+		}
+	})
+}
+
+// FuzzWireDecode throws arbitrary bytes at every decoder: truncated,
+// oversized, bit-flipped, or garbage frames must yield an error (or a
+// semantically valid object), never a panic, and never a huge allocation
+// from a lying length prefix.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, MsgPing, 1, nil))
+	f.Add(AppendFrame(nil, MsgApply, 2, []byte{0, 1, 2, 3}))
+	if err := wireFuzzSetup(); err == nil {
+		p := wireFuzz.p
+		f.Add(Hello{RingN: 32, Levels: 3, NormalLevels: 2, T: 65537}.Encode())
+		f.Add(EncodeSetupKeys(p.R, wireFuzz.keys))
+		if m, err := EncodeRegisterMatrix([][]uint64{{1, 2}, {3, 4}}); err == nil {
+			f.Add(m)
+		}
+		rng := rand.New(rand.NewSource(1))
+		ctV := core.EncryptVector(p, rng, wireFuzz.sk, []uint64{1, 2, 3})
+		f.Add(EncodeApply(p.R, Apply{Vector: ctV}))
+		f.Add(EncodeResult(p.R, Result{M: 1, N: 32, Packed: []*rlwe.Ciphertext{
+			p.EncryptZeroSym(rng, wireFuzz.sk, p.NormalLevels),
+		}}))
+		f.Add(Errf(CodeInternal, "boom").Encode())
+		f.Add(EncodePublicKey(p.R, p.PublicKeyGen(rng, wireFuzz.sk)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := wireFuzzSetup(); err != nil {
+			t.Fatal(err)
+		}
+		p := wireFuzz.p
+		// Frame reader with a small cap so fuzz inputs stay cheap.
+		_, _, _, _ = ReadFrame(bytes.NewReader(data), 1<<20)
+		// Every payload decoder must be total.
+		_, _ = DecodeHello(data)
+		_, _ = DecodeHelloOK(data)
+		_, _ = DecodeSetupKeys(p.R, data)
+		_, _ = DecodeSetupKeysOK(data)
+		_, _ = DecodeRegisterMatrix(p.T.Q, data)
+		_, _ = DecodeMatrixHandle(data)
+		_, _ = DecodeApply(p.R, data)
+		_, _ = DecodeResult(p.R, data)
+		_, _ = DecodeError(data)
+		_, _ = DecodePublicKey(p.R, data)
+	})
+}

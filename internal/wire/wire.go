@@ -1,0 +1,257 @@
+// Package wire is the serving-tier protocol for cham: a versioned,
+// deterministic, length-prefixed binary framing over which a client ships
+// key material and encrypted vectors to a chamserve instance and receives
+// packed HMVP results back (the Delphi-style deployment shape §III-C's
+// host/card split implies at datacenter scale).
+//
+// A connection carries a sequence of frames:
+//
+//	magic(4) version(1) type(1) seq(2) length(4) payload...
+//
+// All integers are little-endian. seq is an opaque client-chosen value the
+// server echoes on the response, so a client can detect desynchronised
+// streams. Crypto payloads (ciphertexts, switching keys) reuse the
+// self-describing object encoding of internal/codec; this package adds the
+// request/response message layer, key-set and matrix encodings, and the
+// content hashes that name registered matrices.
+//
+// Every decoder is strict and bounds-checked: malformed, truncated, or
+// oversized input yields an error, never a panic, and never an allocation
+// larger than the input that claimed it (FuzzWireDecode enforces this).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FrameMagic identifies a cham serving frame ("CHWV" when read as
+// little-endian bytes).
+const FrameMagic uint32 = 0x56574843
+
+// FrameVersion is the current protocol revision. A server rejects frames
+// from any other revision, so incompatible ends fail fast at the Hello.
+const FrameVersion = 1
+
+// frameHeaderLen is magic(4)+version(1)+type(1)+seq(2)+length(4).
+const frameHeaderLen = 12
+
+// DefaultMaxFrame bounds an accepted frame payload (256 MiB covers the
+// largest key set at production parameters with wide margin).
+const DefaultMaxFrame uint32 = 1 << 28
+
+// MsgType discriminates frame payloads.
+type MsgType uint8
+
+// Message types. Requests are odd commentary aside — each request type has
+// a single success response type; any request may instead be answered by
+// MsgError.
+const (
+	MsgHello          MsgType = 1 // client → server: parameter handshake
+	MsgHelloOK        MsgType = 2 // server → client: parameter echo
+	MsgSetupKeys      MsgType = 3 // client → server: packing (automorphism) keys
+	MsgSetupKeysOK    MsgType = 4 // server → client: installed key-set hash
+	MsgRegisterMatrix MsgType = 5 // client → server: cleartext matrix
+	MsgMatrixHandle   MsgType = 6 // server → client: content-hash handle
+	MsgApply          MsgType = 7 // client → server: encrypted vector
+	MsgResult         MsgType = 8 // server → client: packed HMVP result
+	MsgError          MsgType = 9 // server → client: typed failure
+	MsgPing           MsgType = 10
+	MsgPong           MsgType = 11
+)
+
+// String names the type for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "Hello"
+	case MsgHelloOK:
+		return "HelloOK"
+	case MsgSetupKeys:
+		return "SetupKeys"
+	case MsgSetupKeysOK:
+		return "SetupKeysOK"
+	case MsgRegisterMatrix:
+		return "RegisterMatrix"
+	case MsgMatrixHandle:
+		return "MatrixHandle"
+	case MsgApply:
+		return "Apply"
+	case MsgResult:
+		return "Result"
+	case MsgError:
+		return "Error"
+	case MsgPing:
+		return "Ping"
+	case MsgPong:
+		return "Pong"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// AppendFrame appends one framed message to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, t MsgType, seq uint16, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], FrameMagic)
+	hdr[4] = FrameVersion
+	hdr[5] = byte(t)
+	binary.LittleEndian.PutUint16(hdr[6:], seq)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one framed message.
+func WriteFrame(w io.Writer, t MsgType, seq uint16, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, frameHeaderLen+len(payload)), t, seq, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame, rejecting payloads above max
+// (0 means DefaultMaxFrame) before allocating anything for them.
+func ReadFrame(r io.Reader, max uint32) (MsgType, uint16, []byte, error) {
+	if max == 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != FrameMagic {
+		return 0, 0, nil, fmt.Errorf("wire: bad frame magic")
+	}
+	if hdr[4] != FrameVersion {
+		return 0, 0, nil, fmt.Errorf("wire: unsupported protocol version %d", hdr[4])
+	}
+	t := MsgType(hdr[5])
+	seq := binary.LittleEndian.Uint16(hdr[6:])
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	if n > max {
+		return 0, 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, fmt.Errorf("wire: truncated frame body: %w", err)
+	}
+	return t, seq, payload, nil
+}
+
+// --- payload primitives ---
+
+// Reader is an error-sticky, bounds-checked cursor over a payload. Every
+// accessor returns the zero value once an error has occurred, so decoders
+// read linearly and check Err (or Done) once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+func (d *Reader) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// take consumes n bytes or sets the truncation error.
+func (d *Reader) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("truncated payload (need %d bytes at offset %d of %d)", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Reader) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Reader) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Reader) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Reader) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Hash reads a 32-byte content hash.
+func (d *Reader) Hash() (h [32]byte) {
+	copy(h[:], d.take(32))
+	return h
+}
+
+// Blob reads a u32-length-prefixed byte string. The length is validated
+// against the remaining input before any allocation, so a lying prefix
+// cannot trigger a huge make.
+func (d *Reader) Blob() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if int64(n) > int64(len(d.buf)-d.off) {
+		d.fail("blob of %d bytes exceeds remaining %d", n, len(d.buf)-d.off)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// Err reports the first decoding error.
+func (d *Reader) Err() error { return d.err }
+
+// Done returns the first decoding error, or an error if input remains
+// unconsumed — strict decoders reject padded frames.
+func (d *Reader) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing bytes after message", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// appendU16/32/64 are the builder-side primitives.
+func appendU16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+// appendBlob writes a u32-length-prefixed byte string.
+func appendBlob(dst []byte, b []byte) []byte {
+	dst = appendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
