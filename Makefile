@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke
+.PHONY: check vet build test race bench bench-diff tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke
 
 # Tier-1 gate: everything a PR must keep green.
 check: vet build race
@@ -20,9 +20,16 @@ race:
 
 # Tier-2 gate: the race detector across the tree, a $(FUZZTIME) smoke on
 # every fuzz target, the stricter vet analyzers the concurrent hot
-# path depends on, and the telemetry layer under the race detector.
+# path depends on, the telemetry layer under the race detector, and the
+# warm-path performance diff against the committed baseline.
 # Benchmarks only run on a tree that has passed it.
-tier2: race fuzz vet-strict obs-race serve-smoke
+tier2: race fuzz vet-strict obs-race serve-smoke bench-diff
+
+# Warm-path regression gate: re-measure the chambench shapes and fail if
+# any Prepared/warm ns/op regresses >10% over the committed
+# BENCH_hmvp.json or the warm path allocates.
+bench-diff:
+	$(GO) run ./cmd/chambench -compare BENCH_hmvp.json
 
 obs-race:
 	$(GO) vet ./internal/obs
@@ -36,6 +43,7 @@ fuzz:
 	$(GO) test ./internal/ntt -run '^$$' -fuzz '^FuzzNTTRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ntt -run '^$$' -fuzz '^FuzzNegacyclicMul$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lwe -run '^$$' -fuzz '^FuzzPackLWEs$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rlwe -run '^$$' -fuzz '^FuzzDecomposeHoisted$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHMVPDifferential$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)

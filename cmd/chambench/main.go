@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"cham"
@@ -141,15 +142,24 @@ func runShape(ringN, m, cols int, workers int) ([]result, float64, error) {
 		}
 	})
 	// One instrumented pass after the timed runs populates the stage
-	// histograms for the report's telemetry section; MatVec covers all
-	// nine stages (encode/lift/ntt run on the fly), Apply the prepared
-	// path's end-to-end view.
+	// histograms for the report's telemetry section; MatVec covers the
+	// full stage taxonomy (encode/lift/ntt run on the fly), Prepare feeds
+	// cham_hmvp_prepare_seconds (it would otherwise stay empty — the
+	// correctness-gate Prepare above runs before telemetry is switched
+	// on), and Apply the prepared path's end-to-end view.
 	obs.SetEnabled(true)
 	_, errMV := ev.MatVec(A, ctV)
-	_, errAp := pm.Apply(ctV)
+	pmObs, errPrep := ev.Prepare(A)
+	var errAp error
+	if errPrep == nil {
+		_, errAp = pmObs.Apply(ctV)
+	}
 	obs.SetEnabled(false)
 	if errMV != nil {
 		return nil, 0, errMV
+	}
+	if errPrep != nil {
+		return nil, 0, errPrep
 	}
 	if errAp != nil {
 		return nil, 0, errAp
@@ -159,6 +169,7 @@ func runShape(ringN, m, cols int, workers int) ([]result, float64, error) {
 
 func main() {
 	out := flag.String("o", "BENCH_hmvp.json", "output path for the JSON report")
+	compare := flag.String("compare", "", "baseline report to diff against: re-run the shapes, exit nonzero if warm ns_per_op regresses >10% or warm allocs_per_op leaves 0; writes no report")
 	workers := flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
 	remote := flag.String("remote", "", `benchmark the serving tier instead: "self" spins up loopback servers in-process, host:port targets a running chamserve`)
 	remoteN := flag.Int("remote-n", 256, "ring degree for -remote mode (must match an external server)")
@@ -200,10 +211,83 @@ func main() {
 		}
 		fmt.Printf("  warm Apply speedup over MatVec at N=%d: %.2fx\n", ringN, speedup)
 	}
+	if *compare != "" {
+		if err := compareBaseline(*compare, rep.Benchmarks); err != nil {
+			fmt.Fprintln(os.Stderr, "chambench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rep.Telemetry = obs.Default().Snapshot()
 	fmt.Println("\ntelemetry (one instrumented apply per shape):")
 	obs.Default().WriteTo(os.Stdout)
 	writeReport(*out, rep)
+}
+
+// maxWarmRegression is the warm ns/op ratio over baseline beyond which
+// `chambench -compare` (make bench-diff) fails the build.
+const maxWarmRegression = 1.10
+
+// compareBaseline diffs the freshly measured warm-path results against a
+// committed baseline report. It fails (nonzero exit upstream) if any
+// shape's warm ns_per_op regresses more than 10% over the baseline, or if
+// any warm apply allocates at all — the two invariants BENCH_hmvp.json
+// exists to pin.
+func compareBaseline(path string, cur []result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	// Only the benchmark rows matter for the gate; the telemetry section
+	// round-trips through Prometheus conventions (string "le" labels) that
+	// the snapshot type does not unmarshal, so skip it.
+	var base struct {
+		Benchmarks []result `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseByName := make(map[string]result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseByName[r.Name] = r
+	}
+	fmt.Printf("\ncomparing against %s:\n", path)
+	var failures []string
+	checked := 0
+	for _, r := range cur {
+		b, ok := baseByName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		status := "ok"
+		if strings.HasPrefix(r.Name, "Prepared/warm") {
+			checked++
+			if ratio > maxWarmRegression {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx > %.2fx budget)",
+					r.Name, b.NsPerOp, r.NsPerOp, ratio, maxWarmRegression))
+			}
+			if r.AllocsOp != 0 {
+				status = "ALLOCS"
+				failures = append(failures, fmt.Sprintf("%s: %d allocs/op, want 0 (warm path must stay allocation-free)",
+					r.Name, r.AllocsOp))
+			}
+		}
+		fmt.Printf("  %-22s %12.0f -> %12.0f ns/op  (%.3fx)  %s\n", r.Name, b.NsPerOp, r.NsPerOp, ratio, status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("baseline %s has no Prepared/warm entries to gate on", path)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "chambench: FAIL:", f)
+		}
+		return fmt.Errorf("%d warm-path regression(s) against %s", len(failures), path)
+	}
+	fmt.Printf("bench-diff clean: %d warm shapes within %.0f%% of baseline, 0 allocs/op\n",
+		checked, 100*(maxWarmRegression-1))
+	return nil
 }
 
 func writeReport(path string, rep report) {

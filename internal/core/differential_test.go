@@ -126,6 +126,27 @@ func TestHMVPDifferentialN4096(t *testing.T) {
 	}
 }
 
+// TestHMVPDifferentialN256 covers the smallest benchmarked ring degree:
+// the hoisted key-switch and batched-NTT kernels must stay bit-identical
+// to the reference model at N=256 too (a different twiddle-table shape and
+// pack-tree depth than the headline N=4096 run), across all worker counts.
+func TestHMVPDifferentialN256(t *testing.T) {
+	rng := testutil.NewRand(t)
+	p := testParams(t, 256)
+	sk := p.KeyGen(rng)
+	ev, err := NewEvaluator(p, rng, sk, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := &evKeys{opt: ev.Keys, ref: ref.Keys(p, ev.Keys)}
+	// Dense 6-row, 2-chunk matrix: non-power-of-two rows, padded to 8.
+	rows, cols := 6, p.R.N+11
+	A := testutil.Matrix(rng, rows, cols, p.T.Q)
+	v := testutil.Vector(rng, cols, p.T.Q)
+	ctV := EncryptVector(p, rng, sk, v)
+	runDifferential(t, p, sk, keys, A, v, ctV)
+}
+
 // TestHMVPDifferentialNoise runs the differential check at N=512 with
 // dense rows and, via the reference trace, measures the actual noise at
 // every stage boundary of Alg. 1 against the analytic estimator. A failure

@@ -105,6 +105,12 @@ func (e *Evaluator) prepare(A [][]uint64) (*PreparedMatrix, error) {
 	full := p.R.Levels()
 	var clk obs.StageClock
 	clk.Start()
+	// Encoding scratch is pooled; every long-lived buffer below is carved
+	// from a handful of per-tile slabs (one coefficient slab, one Shoup
+	// slab, and flat header arrays) instead of row×chunk×limb individual
+	// allocations — cold Prepare used to cost thousands of allocs per call.
+	rs := e.getRowScratch()
+	defer e.putRowScratch(rs)
 	for base := 0; base < m; base += n {
 		rows := m - base
 		if rows > n {
@@ -118,26 +124,45 @@ func (e *Evaluator) prepare(A [][]uint64) (*PreparedMatrix, error) {
 			rowNTT:   make([][]*ring.Poly, rows),
 			rowShoup: make([][][][]uint64, rows),
 		}
+		nPolys := rows * chunks
+		polys := make([]ring.Poly, nPolys)
+		polyPtrs := make([]*ring.Poly, nPolys)
+		shoupPtrs := make([][][]uint64, nPolys)
+		limbHdrs := make([][]uint64, 2*nPolys*full)
+		coeffSlab := make([]uint64, nPolys*full*n)
+		shoupSlab := make([]uint64, nPolys*full*n)
+		for k := 0; k < nPolys; k++ {
+			pc := limbHdrs[:full:full]
+			sh := limbHdrs[full : 2*full : 2*full]
+			limbHdrs = limbHdrs[2*full:]
+			for l := 0; l < full; l++ {
+				pc[l], coeffSlab = coeffSlab[:n:n], coeffSlab[n:]
+				sh[l], shoupSlab = shoupSlab[:n:n], shoupSlab[n:]
+			}
+			polys[k].Coeffs = pc
+			polyPtrs[k] = &polys[k]
+			shoupPtrs[k] = sh
+		}
 		for i := 0; i < rows; i++ {
-			rp := make([]*ring.Poly, chunks)
-			rs := make([][][]uint64, chunks)
+			rp := polyPtrs[i*chunks : (i+1)*chunks : (i+1)*chunks]
+			rsh := shoupPtrs[i*chunks : (i+1)*chunks : (i+1)*chunks]
 			for c := 0; c < chunks; c++ {
 				lo, hi := c*n, (c+1)*n
 				if hi > cols {
 					hi = cols
 				}
-				enc := p.EncodeRow(A[base+i][lo:hi], scale)
+				pt := rp[c]
+				p.EncodeRowInto(rs.pt, A[base+i][lo:hi], scale)
 				clk.Mark(obs.StageEncode)
-				pt := p.Lift(enc, full)
+				p.LiftInto(pt, rs.pt)
 				clk.Mark(obs.StageLift)
 				p.R.NTT(pt)
 				clk.Mark(obs.StageNTT)
-				rp[c] = pt
-				rs[c] = p.R.ShoupPrecompPoly(pt)
+				p.R.ShoupPrecompPolyInto(rsh[c], pt)
 				clk.Skip() // Shoup tables are bookkeeping, not a pipeline stage
 			}
 			t.rowNTT[i] = rp
-			t.rowShoup[i] = rs
+			t.rowShoup[i] = rsh
 		}
 		pm.tiles = append(pm.tiles, t)
 	}

@@ -21,10 +21,14 @@ import (
 )
 
 // Stage telemetry: each tree merge splits into PACKTWOLWES arithmetic
-// (pack) and the automorphism key switch it contains (key_switch), the
-// two stage families of the reduce buffer in the hardware pipeline.
+// (pack), the hoisted digit decomposition of the automorphism key switch
+// (decompose: centred RNS lifts + digit NTTs), and the key-dependent
+// remainder of the switch (key_switch: digit·key MULTPOLY, inverse
+// transforms, ModDown) — the stage families of the reduce buffer in the
+// hardware pipeline.
 var (
 	packSec   = obs.StageHistogram(obs.StagePack)
+	decSec    = obs.StageHistogram(obs.StageDecompose)
 	ksSec     = obs.StageHistogram(obs.StageKeySwitch)
 	mergesCnt = obs.GetCounter("cham_hmvp_pack_merges_total",
 		"PACKTWOLWES tree merges (m-1 per packed tile).")
@@ -66,31 +70,61 @@ func ExtractAsRLWEInto(p bfv.Params, out, ct *rlwe.Ciphertext, idx int) {
 // ctE and ctO are consumed (overwritten as scratch); out may alias ctE but
 // not ctO. All temporaries are pooled.
 func PackTwoInto(p bfv.Params, out *rlwe.Ciphertext, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey) {
+	dec := p.GetDecomposition()
+	PackTwoHoisted(p, out, i, ctE, ctO, swk, dec)
+	p.PutDecomposition(dec)
+}
+
+// PackTwoHoisted is PackTwoInto with caller-owned hoisted key-switch
+// scratch: dec (from GetDecomposition) carries the digit buffers, so a
+// worker sweeping many merges reuses one cache-resident decomposition
+// arena for the whole pack-tree level instead of cycling the pool per
+// merge. The automorphism is applied in the coefficient domain first
+// (decomposition commutes with φ_k), then the switch runs decompose →
+// hoisted completion, with the two halves timed as separate stages.
+func PackTwoHoisted(p bfv.Params, out *rlwe.Ciphertext, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey, dec *rlwe.Decomposition) {
 	on := obs.On()
 	var t0 time.Time
 	if on {
 		t0 = time.Now()
 	}
-	z := p.R.N / (2 * i)
+	r := p.R
+	z := r.N / (2 * i)
+	k := 2*i + 1
 	p.MulMonomial(ctO, ctO, z) // ctO ← X^z·ctO, in place
 	minus := p.GetCiphertext(ctE.Levels())
 	p.Sub(minus, ctE, ctO)
 	p.Add(out, ctE, ctO)
+	// φ_k in the coefficient domain: minus decrypts under φ_k(s) after the
+	// permutation; the switch brings it back under s.
+	phiB := r.GetPoly(minus.Levels())
+	phiA := r.GetPoly(minus.Levels())
+	r.Automorph(phiB, minus.B, k)
+	r.Automorph(phiA, minus.A, k)
 	var t1 time.Time
 	if on {
 		t1 = time.Now()
 	}
-	p.AutomorphCtInto(minus, minus, 2*i+1, swk)
+	p.DecomposeInto(dec, phiA)
 	var t2 time.Time
 	if on {
 		t2 = time.Now()
 	}
+	p.KeySwitchHoistedInto(minus.B, minus.A, dec, swk)
+	r.Add(minus.B, minus.B, phiB)
+	r.PutPoly(phiB)
+	r.PutPoly(phiA)
+	var t3 time.Time
+	if on {
+		t3 = time.Now()
+	}
 	p.Add(out, out, minus)
 	p.PutCiphertext(minus)
 	if on {
-		t3 := time.Now()
-		packSec.Observe(t1.Sub(t0).Seconds() + t3.Sub(t2).Seconds())
-		ksSec.Observe(t2.Sub(t1).Seconds())
+		t4 := time.Now()
+		packSec.Observe(t1.Sub(t0).Seconds() + t4.Sub(t3).Seconds())
+		decSec.Observe(t2.Sub(t1).Seconds())
+		ksSec.Observe(t3.Sub(t2).Seconds())
 		mergesCnt.Inc()
 	}
 }
@@ -128,18 +162,22 @@ func PackRLWEs(p bfv.Params, cts []*rlwe.Ciphertext, keys *PackingKeys, workers 
 			}
 			packLevelParallel(p, cts, i, half, swk, nw)
 		} else {
+			dec := p.GetDecomposition()
 			for j := 0; j < half; j++ {
-				PackTwoInto(p, cts[j], i, cts[j], cts[j+half], swk)
+				PackTwoHoisted(p, cts[j], i, cts[j], cts[j+half], swk, dec)
 			}
+			p.PutDecomposition(dec)
 		}
 		count = half
 	}
 	return cts[0], nil
 }
 
-// packLevelParallel fans one tree level's merges across nw goroutines. It
-// lives in its own function so the goroutine closure's captures don't
-// force the caller's loop variables onto the heap on the serial path.
+// packLevelParallel fans one tree level's merges across nw goroutines,
+// each reusing one hoisted decomposition arena for every merge it claims
+// at this level. It lives in its own function so the goroutine closure's
+// captures don't force the caller's loop variables onto the heap on the
+// serial path.
 func packLevelParallel(p bfv.Params, cts []*rlwe.Ciphertext, i, half int, swk *rlwe.SwitchingKey, nw int) {
 	var next int64
 	var wg sync.WaitGroup
@@ -147,12 +185,14 @@ func packLevelParallel(p bfv.Params, cts []*rlwe.Ciphertext, i, half int, swk *r
 	for w := 0; w < nw; w++ {
 		go func() {
 			defer wg.Done()
+			dec := p.GetDecomposition()
+			defer p.PutDecomposition(dec)
 			for {
 				j := int(atomic.AddInt64(&next, 1)) - 1
 				if j >= half {
 					return
 				}
-				PackTwoInto(p, cts[j], i, cts[j], cts[j+half], swk)
+				PackTwoHoisted(p, cts[j], i, cts[j], cts[j+half], swk, dec)
 			}
 		}()
 	}

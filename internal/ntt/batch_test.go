@@ -1,0 +1,125 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"cham/internal/mod"
+)
+
+// Differential coverage for the limb-batched lazy transforms: at every
+// CHAM modulus and the benchmarked ring degrees, ForwardBatch/InverseBatch
+// must be bit-identical to the strict one-row schedules, for every batch
+// width (1, 2, 3 rows — exercising the paired kernel plus the odd
+// remainder) and for lazy (non-canonical) inputs inside the documented
+// headroom.
+
+var batchSizes = []int{256, 512, 4096}
+
+// lazyPoly returns n coefficients uniform in [0, bound) — representatives
+// deliberately above q to exercise the lazy-reduction input contract.
+func lazyPoly(rng *rand.Rand, n int, bound uint64) []uint64 {
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % bound
+	}
+	return a
+}
+
+// canon reduces a lazy representative vector to canonical residues.
+func canon(a []uint64, q uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i, x := range a {
+		out[i] = x % q
+	}
+	return out
+}
+
+func TestForwardBatchMatchesStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, q := range mod.ChamModuli() {
+		for _, n := range batchSizes {
+			tb := MustTable(n, q)
+			for _, width := range []int{1, 2, 3} {
+				rows := make([][]uint64, width)
+				want := make([][]uint64, width)
+				for r := range rows {
+					// Inputs anywhere in [0, 4q): the lazy kernel must
+					// canonicalize them to the same output the strict
+					// transform produces from the reduced residues.
+					rows[r] = lazyPoly(rng, n, 4*q)
+					want[r] = canon(rows[r], q)
+					tb.Forward(want[r])
+				}
+				tb.ForwardBatch(rows...)
+				for r := range rows {
+					for i := range rows[r] {
+						if rows[r][i] != want[r][i] {
+							t.Fatalf("q=%d N=%d width=%d row=%d: ForwardBatch[%d]=%d, strict Forward=%d",
+								q, n, width, r, i, rows[r][i], want[r][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInverseBatchMatchesStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, q := range mod.ChamModuli() {
+		for _, n := range batchSizes {
+			tb := MustTable(n, q)
+			for _, width := range []int{1, 2, 3} {
+				rows := make([][]uint64, width)
+				want := make([][]uint64, width)
+				for r := range rows {
+					// Inverse inputs may sit in [0, 2q) — the lazy forward
+					// MAC chain hands exactly that to the completion path.
+					rows[r] = lazyPoly(rng, n, 2*q)
+					want[r] = canon(rows[r], q)
+					tb.Inverse(want[r])
+				}
+				tb.InverseBatch(rows...)
+				for r := range rows {
+					for i := range rows[r] {
+						if rows[r][i] != want[r][i] {
+							t.Fatalf("q=%d N=%d width=%d row=%d: InverseBatch[%d]=%d, strict Inverse=%d",
+								q, n, width, r, i, rows[r][i], want[r][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRoundTrip: InverseBatch(ForwardBatch(a)) is the identity on
+// canonical inputs, with both rows of a pair independent.
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, q := range mod.ChamModuli() {
+		tb := MustTable(512, q)
+		a := randomPoly(rng, 512, q)
+		b := randomPoly(rng, 512, q)
+		ac := append([]uint64(nil), a...)
+		bc := append([]uint64(nil), b...)
+		tb.ForwardBatch(ac, bc)
+		tb.InverseBatch(ac, bc)
+		for i := range a {
+			if ac[i] != a[i] || bc[i] != b[i] {
+				t.Fatalf("q=%d: round trip diverged at %d", q, i)
+			}
+		}
+	}
+}
+
+func TestBatchLengthMismatchPanics(t *testing.T) {
+	tb := MustTable(16, smallPrime(t, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForwardBatch accepted a short row")
+		}
+	}()
+	tb.ForwardBatch(make([]uint64, 16), make([]uint64, 8))
+}

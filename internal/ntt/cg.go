@@ -53,10 +53,38 @@ func (t *Table) ForwardCG(dst, src []uint64) {
 	half := t.N / 2
 	cur, next, sp := t.pingPong(dst, src, t.LogN)
 	for s := 0; s < t.LogN; s++ {
-		for j := 0; j < half; j++ {
-			k := t.CGTwiddleIndex(s, j)
-			u := cur[j]
-			v := m.MulShoup(cur[j+half], t.rootsFwd[k], t.rootsFwdShoup[k])
+		mask := 1<<s - 1
+		// Two butterflies per iteration: independent dependency chains keep
+		// both 64×64 Shoup products in flight, and the four outputs land in
+		// one contiguous run of next — the perfect-shuffle write pattern.
+		for j := 0; j+1 < half; j += 2 {
+			k0 := 1<<s + j&mask
+			k1 := 1<<s + (j+1)&mask
+			u0, u1 := cur[j], cur[j+1]
+			v0 := m.MulShoup(cur[j+half], t.rootsFwd[k0], t.rootsFwdShoup[k0])
+			v1 := m.MulShoup(cur[j+half+1], t.rootsFwd[k1], t.rootsFwdShoup[k1])
+			s0 := u0 + v0
+			if s0 >= q {
+				s0 -= q
+			}
+			d0 := u0 - v0
+			if u0 < v0 {
+				d0 += q
+			}
+			s1 := u1 + v1
+			if s1 >= q {
+				s1 -= q
+			}
+			d1 := u1 - v1
+			if u1 < v1 {
+				d1 += q
+			}
+			o := next[2*j : 2*j+4 : 2*j+4]
+			o[0], o[1], o[2], o[3] = s0, d0, s1, d1
+		}
+		if half == 1 { // N == 2: a single butterfly per stage
+			u := cur[0]
+			v := m.MulShoup(cur[1], t.rootsFwd[1], t.rootsFwdShoup[1])
 			sum := u + v
 			if sum >= q {
 				sum -= q
@@ -65,7 +93,7 @@ func (t *Table) ForwardCG(dst, src []uint64) {
 			if u < v {
 				diff += q
 			}
-			next[2*j], next[2*j+1] = sum, diff
+			next[0], next[1] = sum, diff
 		}
 		cur, next = next, cur
 	}
@@ -85,9 +113,34 @@ func (t *Table) InverseCG(dst, src []uint64) {
 	half := t.N / 2
 	cur, next, sp := t.pingPong(dst, src, t.LogN)
 	for s := t.LogN - 1; s >= 0; s-- {
-		for j := 0; j < half; j++ {
-			k := t.CGTwiddleIndex(s, j)
-			x, y := cur[2*j], cur[2*j+1]
+		mask := 1<<s - 1
+		for j := 0; j+1 < half; j += 2 {
+			k0 := 1<<s + j&mask
+			k1 := 1<<s + (j+1)&mask
+			in := cur[2*j : 2*j+4 : 2*j+4]
+			x0, y0, x1, y1 := in[0], in[1], in[2], in[3]
+			s0 := x0 + y0
+			if s0 >= q {
+				s0 -= q
+			}
+			d0 := x0 - y0
+			if x0 < y0 {
+				d0 += q
+			}
+			s1 := x1 + y1
+			if s1 >= q {
+				s1 -= q
+			}
+			d1 := x1 - y1
+			if x1 < y1 {
+				d1 += q
+			}
+			next[j], next[j+1] = s0, s1
+			next[j+half] = m.MulShoup(d0, t.rootsInv[k0], t.rootsInvShoup[k0])
+			next[j+half+1] = m.MulShoup(d1, t.rootsInv[k1], t.rootsInvShoup[k1])
+		}
+		if half == 1 { // N == 2
+			x, y := cur[0], cur[1]
 			sum := x + y
 			if sum >= q {
 				sum -= q
@@ -96,8 +149,8 @@ func (t *Table) InverseCG(dst, src []uint64) {
 			if x < y {
 				diff += q
 			}
-			next[j] = sum
-			next[j+half] = m.MulShoup(diff, t.rootsInv[k], t.rootsInvShoup[k])
+			next[0] = sum
+			next[1] = m.MulShoup(diff, t.rootsInv[1], t.rootsInvShoup[1])
 		}
 		cur, next = next, cur
 	}

@@ -17,9 +17,14 @@ func (t *Table) Forward(a []uint64) {
 			w := t.rootsFwd[blocks+i]
 			wp := t.rootsFwdShoup[blocks+i]
 			base := 2 * i * span
-			for j := base; j < base+span; j++ {
-				u := a[j]
-				v := m.MulShoup(a[j+span], w, wp)
+			// Full-length subslices let the compiler drop the per-butterfly
+			// bounds checks on both halves of the block.
+			lo := a[base : base+span : base+span]
+			hi := a[base+span : base+2*span]
+			hi = hi[:span:span]
+			for j := range lo {
+				u := lo[j]
+				v := m.MulShoup(hi[j], w, wp)
 				s := u + v
 				if s >= q {
 					s -= q
@@ -28,7 +33,7 @@ func (t *Table) Forward(a []uint64) {
 				if u < v {
 					d += q
 				}
-				a[j], a[j+span] = s, d
+				lo[j], hi[j] = s, d
 			}
 		}
 	}
@@ -49,8 +54,11 @@ func (t *Table) Inverse(a []uint64) {
 		for i := 0; i < blocks; i++ {
 			w := t.rootsInv[blocks+i]
 			wp := t.rootsInvShoup[blocks+i]
-			for j := base; j < base+span; j++ {
-				u, v := a[j], a[j+span]
+			lo := a[base : base+span : base+span]
+			hi := a[base+span : base+2*span]
+			hi = hi[:span:span]
+			for j := range lo {
+				u, v := lo[j], hi[j]
 				s := u + v
 				if s >= q {
 					s -= q
@@ -59,8 +67,8 @@ func (t *Table) Inverse(a []uint64) {
 				if u < v {
 					d += q
 				}
-				a[j] = s
-				a[j+span] = m.MulShoup(d, w, wp)
+				lo[j] = s
+				hi[j] = m.MulShoup(d, w, wp)
 			}
 			base += 2 * span
 		}

@@ -44,6 +44,9 @@ type Table struct {
 	rootsInv, rootsInvShoup []uint64
 
 	nInv, nInvShoup uint64
+	// nInvRoot = rootsInv[1]·N^-1, the twiddle of the inverse transform's
+	// final stage with the normalization folded in (see lazy.go/batch.go).
+	nInvRoot, nInvRootShoup uint64
 }
 
 // NewTable builds twiddle tables for a size-N negacyclic NTT modulo q.
@@ -89,6 +92,8 @@ func NewTable(n int, q uint64) (*Table, error) {
 	}
 	t.nInv = m.Inv(uint64(n))
 	t.nInvShoup = m.ShoupPrecomp(t.nInv)
+	t.nInvRoot = m.Mul(t.rootsInv[1], t.nInv)
+	t.nInvRootShoup = m.ShoupPrecomp(t.nInvRoot)
 	return t, nil
 }
 

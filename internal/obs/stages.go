@@ -2,10 +2,12 @@ package obs
 
 import "time"
 
-// The nine-stage HMVP taxonomy (DESIGN.md §7/§9). These indices and names
-// are the single source of truth shared by the instrumented kernels
-// (internal/core, internal/lwe), the exposition format, cmd/chamtop, and
-// the documentation: a stage renamed here renames everywhere.
+// The HMVP stage taxonomy (DESIGN.md §7/§9): the paper's nine pipeline
+// stages plus the hoisted digit-decomposition split of the key switch.
+// These indices and names are the single source of truth shared by the
+// instrumented kernels (internal/core, internal/lwe), the exposition
+// format, cmd/chamtop, and the documentation: a stage renamed here
+// renames everywhere.
 const (
 	StageEncode    = iota // row coefficient encoding (Eq. 1)
 	StageLift             // CRT lift to the augmented basis
@@ -14,6 +16,7 @@ const (
 	StageINTT             // inverse transform of the accumulator
 	StageExtract          // EXTRACTLWES constant-coefficient extraction (Eq. 3)
 	StagePack             // PACKTWOLWES tree arithmetic (Alg. 2/3)
+	StageDecompose        // hoisted RNS digit decomposition + digit NTTs
 	StageKeySwitch        // automorphism key switches inside packing
 	StageModDown          // RESCALE / ModDown chains (poly and scalar)
 	NumStages
@@ -22,12 +25,12 @@ const (
 // StageNames maps stage indices to their metric label values.
 var StageNames = [NumStages]string{
 	"encode", "lift", "ntt", "row_mul", "intt",
-	"extract", "pack", "key_switch", "mod_down",
+	"extract", "pack", "decompose", "key_switch", "mod_down",
 }
 
 // stageHists holds the per-stage latency histograms of the
 // cham_hmvp_stage_seconds family, registered eagerly so a scrape shows
-// all nine stages from process start.
+// every stage from process start.
 var stageHists = func() [NumStages]*Histogram {
 	var hs [NumStages]*Histogram
 	for i := 0; i < NumStages; i++ {

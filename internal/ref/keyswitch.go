@@ -8,7 +8,8 @@ import (
 )
 
 // Decomposed (hybrid) key switching over big integers, mirroring
-// rlwe.keySwitchPolys from the definition: the a-part is split into one
+// rlwe.DecomposeInto + rlwe.KeySwitchHoistedInto from the definition: the
+// a-part is split into one
 // centred digit per normal limb, each digit is convolved with the matching
 // key row over the FULL (augmented) modulus, and the accumulated pair is
 // divided by the special modulus with exact rounding back to the normal

@@ -86,6 +86,23 @@ func (r *Ring) ShoupPrecompPoly(p *Poly) [][]uint64 {
 	return out
 }
 
+// ShoupPrecompPolyInto fills dst (one row of at least N words per limb of
+// p) with p's Shoup companion table, the allocation-free form of
+// ShoupPrecompPoly used when the caller slabs many tables into one
+// backing array (prepared-matrix rows).
+func (r *Ring) ShoupPrecompPolyInto(dst [][]uint64, p *Poly) {
+	if len(dst) < p.Levels() {
+		panic("ring: Shoup table level mismatch")
+	}
+	for l := 0; l < p.Levels(); l++ {
+		m := r.Moduli[l]
+		row := dst[l][:r.N]
+		for i, v := range p.Coeffs[l][:r.N] {
+			row[i] = m.ShoupPrecomp(v)
+		}
+	}
+}
+
 // MulCoeffShoup sets out = a ∘ b where bShoup = ShoupPrecompPoly(b).
 // Roughly twice the throughput of MulCoeff on the same operands.
 func (r *Ring) MulCoeffShoup(out, a, b *Poly, bShoup [][]uint64) {
@@ -167,23 +184,28 @@ func (r *Ring) ModDownInto(out, p *Poly) {
 		panic("ring: ModDown level mismatch")
 	}
 	msp := r.Moduli[lv-1] // the special modulus being divided out
-	spRow := p.Coeffs[lv-1]
+	spRow := p.Coeffs[lv-1][:r.N]
 	halfP := msp.Q / 2
 	for l := 0; l < lv-1; l++ {
 		ml := r.Moduli[l]
 		pInv := r.modDownInv[lv-1][l]
 		pp := r.modDownInvShoup[lv-1][l]
-		ra, ro := p.Coeffs[l], out.Coeffs[l]
-		for i := 0; i < r.N; i++ {
-			// d = x_l - [x_sp centred] lifted into limb l; the two branches
-			// avoid the signed round-trip of CenterLift/FromCentered.
+		twoQ := 2 * ml.Q
+		qspL := ml.ReduceBarrett(msp.Q) // q_sp mod q_l
+		ra := p.Coeffs[l][:r.N]
+		ro := out.Coeffs[l][:r.N]
+		for i := range ro {
+			// d ≡ x_l - [x_sp centred] in limb l. Branch-free: always
+			// subtract the reduced residue of x_sp, then add back q_sp
+			// (mod q_l) exactly when the centred lift is negative — the
+			// mask is the sign bit of halfP - x, so the 50/50-taken branch
+			// of the centred comparison never reaches the predictor.
+			// d < 4q (< 2^64 for q < 2^62); MulShoup accepts any uint64
+			// and restores canonical form.
 			x := spRow[i]
-			var d uint64
-			if x > halfP {
-				d = ml.Add(ra[i], ml.ReduceBarrett(msp.Q-x))
-			} else {
-				d = ml.Sub(ra[i], ml.ReduceBarrett(x))
-			}
+			red := ml.ReduceBarrett(x)
+			neg := uint64(int64(halfP-x) >> 63) // all ones iff x > halfP
+			d := ra[i] + twoQ - red + (neg & qspL)
 			ro[i] = ml.MulShoup(d, pInv, pp)
 		}
 	}

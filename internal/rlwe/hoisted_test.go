@@ -1,0 +1,182 @@
+// Differential tests for the hoisted key-switch split against the big.Int
+// reference model. External test package: internal/ref itself imports rlwe.
+package rlwe_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cham/internal/mod"
+	"cham/internal/ref"
+	"cham/internal/ring"
+	"cham/internal/rlwe"
+	"cham/internal/testutil"
+)
+
+func hoistedParams(tb testing.TB, n int) rlwe.Params {
+	tb.Helper()
+	r, err := ring.New(n, mod.ChamModuli())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := rlwe.NewParams(r, 2, 21)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+func moduliValues(r *ring.Ring, levels int) []uint64 {
+	out := make([]uint64, levels)
+	for l := 0; l < levels; l++ {
+		out[l] = r.Moduli[l].Q
+	}
+	return out
+}
+
+// TestKeySwitchHoistedMatchesRef: DecomposeInto + KeySwitchHoistedInto must
+// reproduce the reference model's exact-arithmetic key switch bit for bit
+// at every benchmarked ring degree — and ONE decomposition must serve
+// several switching keys (the hoisting contract: the digit-NTTs depend
+// only on the ciphertext, never on the key).
+func TestKeySwitchHoistedMatchesRef(t *testing.T) {
+	sizes := []int{256, 512}
+	if !testing.Short() {
+		sizes = append(sizes, 4096)
+	}
+	for _, n := range sizes {
+		p := hoistedParams(t, n)
+		r := p.R
+		rng := testutil.NewRand(t)
+		sk := p.KeyGen(rng)
+		src := p.KeyGen(rng)
+		full := moduliValues(r, r.Levels())
+		normal := moduliValues(r, p.NormalLevels)
+
+		// Two unrelated keys: a generic re-encryption key and an
+		// automorphism key. The same decomposition drives both switches.
+		swks := []*rlwe.SwitchingKey{
+			p.SwitchingKeyGen(rng, sk, src.Value),
+			p.AutomorphismKeyGen(rng, sk, 5),
+		}
+
+		a := r.NewPoly(p.NormalLevels)
+		r.UniformPoly(rng, a)
+		refA := ref.Compose(a, normal)
+
+		dec := p.GetDecomposition()
+		p.DecomposeInto(dec, a)
+		for ki, swk := range swks {
+			outB := r.NewPoly(p.NormalLevels)
+			outA := r.NewPoly(p.NormalLevels)
+			p.KeySwitchHoistedInto(outB, outA, dec, swk)
+
+			refSwk := ref.ComposeSwitchingKey(r, swk, full)
+			wantB, wantA := ref.KeySwitch(refA, refSwk, full, p.NormalLevels)
+			for name, pair := range map[string]struct {
+				got  *ring.Poly
+				want *ref.Poly
+			}{"b": {outB, wantB}, "a": {outA, wantA}} {
+				rows := ref.Decompose(pair.want, normal)
+				for l := range rows {
+					for i := range rows[l] {
+						if pair.got.Coeffs[l][i] != rows[l][i] {
+							t.Fatalf("N=%d key %d part %s limb %d coeff %d: hoisted %d, reference %d",
+								n, ki, name, l, i, pair.got.Coeffs[l][i], rows[l][i])
+						}
+					}
+				}
+			}
+		}
+		p.PutDecomposition(dec)
+	}
+}
+
+// TestKeySwitchIntoMatchesHoisted: the one-shot KeySwitchInto wrapper and
+// an explicitly hoisted switch must agree (including when out aliases ct —
+// the aliasing case the pooled b-copy exists for).
+func TestKeySwitchIntoMatchesHoisted(t *testing.T) {
+	p := hoistedParams(t, 256)
+	r := p.R
+	rng := testutil.NewRand(t)
+	sk := p.KeyGen(rng)
+	src := p.KeyGen(rng)
+	swk := p.SwitchingKeyGen(rng, sk, src.Value)
+
+	ct := &rlwe.Ciphertext{B: r.NewPoly(p.NormalLevels), A: r.NewPoly(p.NormalLevels)}
+	r.UniformPoly(rng, ct.B)
+	r.UniformPoly(rng, ct.A)
+
+	want := &rlwe.Ciphertext{B: r.NewPoly(p.NormalLevels), A: r.NewPoly(p.NormalLevels)}
+	dec := p.GetDecomposition()
+	p.DecomposeInto(dec, ct.A)
+	p.KeySwitchHoistedInto(want.B, want.A, dec, swk)
+	p.PutDecomposition(dec)
+	r.Add(want.B, want.B, ct.B)
+
+	p.KeySwitchInto(ct, ct, swk) // aliased in-place switch
+	for l := 0; l < p.NormalLevels; l++ {
+		for i := 0; i < r.N; i++ {
+			if ct.B.Coeffs[l][i] != want.B.Coeffs[l][i] || ct.A.Coeffs[l][i] != want.A.Coeffs[l][i] {
+				t.Fatalf("limb %d coeff %d: aliased KeySwitchInto diverges from hoisted path", l, i)
+			}
+		}
+	}
+}
+
+// FuzzDecomposeHoisted drives the branch-free lazy digit-decomposition
+// sweep against a naive branchy centred lift followed by the strict
+// forward transform: identical digits for arbitrary inputs.
+func FuzzDecomposeHoisted(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7})
+	f.Add([]byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 3, 1, 4, 1, 5, 9, 2, 6})
+	const fuzzN = 32
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := hoistedParams(t, fuzzN)
+		r := p.R
+		a := r.NewPoly(p.NormalLevels)
+		for l := range a.Coeffs {
+			q := r.Moduli[l].Q
+			for i := range a.Coeffs[l] {
+				var w [8]byte
+				off := (l*fuzzN + i) * 8
+				if off < len(data) {
+					copy(w[:], data[off:])
+				}
+				a.Coeffs[l][i] = binary.LittleEndian.Uint64(w[:]) % q
+			}
+		}
+
+		dec := p.GetDecomposition()
+		defer p.PutDecomposition(dec)
+		p.DecomposeInto(dec, a)
+
+		lv := r.Levels()
+		for j := 0; j < p.NormalLevels; j++ {
+			qj := r.Moduli[j].Q
+			half := qj / 2
+			for l := 0; l < lv; l++ {
+				ql := r.Moduli[l].Q
+				want := make([]uint64, fuzzN)
+				for i, x := range a.Coeffs[j] {
+					if l == j {
+						want[i] = x
+					} else if x > half {
+						// centred lift of a negative digit: x - q_j mod q_l
+						want[i] = (x%ql + ql - qj%ql) % ql
+					} else {
+						want[i] = x % ql
+					}
+				}
+				r.Tables[l].Forward(want)
+				for i := range want {
+					if got := dec.Digits[j].Coeffs[l][i]; got != want[i] {
+						t.Fatalf("digit %d limb %d coeff %d: lazy decompose %d, naive %d",
+							j, l, i, got, want[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -64,98 +64,9 @@ func (ct *Ciphertext) CopyFrom(o *Ciphertext) {
 	ct.A.CopyFrom(o.A)
 }
 
-// decomposeDigitInto is decomposeDigit writing into a caller-supplied
-// full-basis polynomial. Row `digit` of the output is an exact copy of the
-// input row (the centred lift is the identity modulo its own limb); the
-// other rows use division-free centred reductions.
-func (p Params) decomposeDigitInto(out *ring.Poly, a *ring.Poly, digit int) {
-	r := p.R
-	lv := r.Levels()
-	md := r.Moduli[digit]
-	src := a.Coeffs[digit]
-	half := md.Q / 2
-	for l := 0; l < lv; l++ {
-		if l == digit {
-			copy(out.Coeffs[l], src)
-			continue
-		}
-		ml := r.Moduli[l]
-		ro := out.Coeffs[l]
-		for i, x := range src {
-			if x > half {
-				// negative lift: x - q_d, i.e. -(q_d - x)
-				v := ml.ReduceBarrett(md.Q - x)
-				if v == 0 {
-					ro[i] = 0
-				} else {
-					ro[i] = ml.Q - v
-				}
-			} else {
-				ro[i] = ml.ReduceBarrett(x)
-			}
-		}
-	}
-	out.IsNTT = false
-	r.NTT(out)
-}
-
-// keySwitchPolys runs the digit-decomposed key switch on a bare (b, a)
-// pair: outB/outA (normal basis, coefficient domain) receive the switched
-// a-part contribution; the caller adds the original b. All temporaries are
-// pooled.
-func (p Params) keySwitchPolys(outB, outA *ring.Poly, a *ring.Poly, swk *SwitchingKey) {
-	r := p.R
-	lv := r.Levels()
-	c0 := r.GetPoly(lv)
-	c1 := r.GetPoly(lv)
-	d := r.GetPoly(lv)
-	shoup := swk.BsShoup != nil
-	for j := 0; j < p.NormalLevels; j++ {
-		p.decomposeDigitInto(d, a, j)
-		switch {
-		case j == 0 && shoup:
-			r.MulCoeffShoup(c0, d, swk.Bs[0], swk.BsShoup[0])
-			r.MulCoeffShoup(c1, d, swk.As[0], swk.AsShoup[0])
-		case shoup:
-			r.MulCoeffShoupAdd(c0, d, swk.Bs[j], swk.BsShoup[j])
-			r.MulCoeffShoupAdd(c1, d, swk.As[j], swk.AsShoup[j])
-		case j == 0:
-			r.MulCoeff(c0, d, swk.Bs[0])
-			r.MulCoeff(c1, d, swk.As[0])
-		default:
-			r.MulCoeffAdd(c0, d, swk.Bs[j])
-			r.MulCoeffAdd(c1, d, swk.As[j])
-		}
-	}
-	r.PutPoly(d)
-	r.INTT(c0)
-	r.INTT(c1)
-
-	// Divide by the special modulus (rounding) back to the normal basis.
-	b, av := c0, c1
-	for b.Levels() > p.NormalLevels+1 {
-		nb := r.GetPoly(b.Levels() - 1)
-		na := r.GetPoly(av.Levels() - 1)
-		r.ModDownInto(nb, b)
-		r.ModDownInto(na, av)
-		if b != c0 {
-			r.PutPoly(b)
-			r.PutPoly(av)
-		}
-		b, av = nb, na
-	}
-	r.ModDownInto(outB, b)
-	r.ModDownInto(outA, av)
-	if b != c0 {
-		r.PutPoly(b)
-		r.PutPoly(av)
-	}
-	r.PutPoly(c0)
-	r.PutPoly(c1)
-}
-
 // KeySwitchInto is KeySwitch writing into a caller-owned normal-basis
-// ciphertext. out may alias ct.
+// ciphertext. out may alias ct. Internally this is the hoisted pipeline
+// with a pooled one-shot decomposition (see hoisted.go).
 func (p Params) KeySwitchInto(out, ct *Ciphertext, swk *SwitchingKey) {
 	if ct.IsNTT() {
 		panic("rlwe: KeySwitch requires coefficient domain")
@@ -163,8 +74,15 @@ func (p Params) KeySwitchInto(out, ct *Ciphertext, swk *SwitchingKey) {
 	if ct.Levels() != p.NormalLevels || out.Levels() != p.NormalLevels {
 		panic("rlwe: KeySwitch requires normal-basis ciphertexts")
 	}
-	p.keySwitchPolys(out.B, out.A, ct.A, swk)
-	p.R.Add(out.B, out.B, ct.B)
+	r := p.R
+	b := r.GetPoly(p.NormalLevels)
+	b.CopyFrom(ct.B) // out may alias ct; keep b across the switch
+	dec := p.GetDecomposition()
+	p.DecomposeInto(dec, ct.A)
+	p.KeySwitchHoistedInto(out.B, out.A, dec, swk)
+	p.PutDecomposition(dec)
+	r.Add(out.B, out.B, b)
+	r.PutPoly(b)
 }
 
 // AutomorphCtInto is AutomorphCt writing into a caller-owned ciphertext:
@@ -183,7 +101,10 @@ func (p Params) AutomorphCtInto(out, ct *Ciphertext, k int, swk *SwitchingKey) {
 	r.Automorph(phiA, ct.A, k)
 	// (φb, φa) decrypts under φ(s); switch from φ(s) back to s, then add
 	// the permuted b which rides along unchanged.
-	p.keySwitchPolys(out.B, out.A, phiA, swk)
+	dec := p.GetDecomposition()
+	p.DecomposeInto(dec, phiA)
+	p.KeySwitchHoistedInto(out.B, out.A, dec, swk)
+	p.PutDecomposition(dec)
 	r.Add(out.B, out.B, phiB)
 	r.PutPoly(phiB)
 	r.PutPoly(phiA)
