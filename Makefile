@@ -26,7 +26,7 @@ race:
 tier2: race fuzz vet-strict obs-race serve-smoke bench-diff
 
 # Warm-path regression gate: re-measure the chambench shapes and fail if
-# any Prepared/warm ns/op regresses >10% over the committed
+# any Prepared/warm or Pack/warm ns/op regresses >10% over the committed
 # BENCH_hmvp.json or the warm path allocates.
 bench-diff:
 	$(GO) run ./cmd/chambench -compare BENCH_hmvp.json
@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test ./internal/mod -run '^$$' -fuzz '^FuzzModReduce$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ntt -run '^$$' -fuzz '^FuzzNTTRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ntt -run '^$$' -fuzz '^FuzzNegacyclicMul$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ring -run '^$$' -fuzz '^FuzzAutomorphNTT$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lwe -run '^$$' -fuzz '^FuzzPackLWEs$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rlwe -run '^$$' -fuzz '^FuzzDecomposeHoisted$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHMVPDifferential$$' -fuzztime $(FUZZTIME)

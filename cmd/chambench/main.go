@@ -211,6 +211,23 @@ func main() {
 		}
 		fmt.Printf("  warm Apply speedup over MatVec at N=%d: %.2fx\n", ringN, speedup)
 	}
+	// Packing tree in isolation: full-tree warm rows at both the test and
+	// production degrees (gated by -compare), per-level merge breakdown at
+	// the production degree.
+	for _, pc := range []struct {
+		n        int
+		perLevel bool
+	}{{4096, true}, {256, false}} {
+		results, err := runPack(pc.n, m, pc.perLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chambench:", err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, results...)
+		for _, r := range results {
+			fmt.Printf("%-22s %12.0f ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsOp)
+		}
+	}
 	if *compare != "" {
 		if err := compareBaseline(*compare, rep.Benchmarks); err != nil {
 			fmt.Fprintln(os.Stderr, "chambench:", err)
@@ -230,9 +247,9 @@ const maxWarmRegression = 1.10
 
 // compareBaseline diffs the freshly measured warm-path results against a
 // committed baseline report. It fails (nonzero exit upstream) if any
-// shape's warm ns_per_op regresses more than 10% over the baseline, or if
-// any warm apply allocates at all — the two invariants BENCH_hmvp.json
-// exists to pin.
+// shape's warm ns_per_op — a prepared apply or an isolated pack tree —
+// regresses more than 10% over the baseline, or if any warm op allocates
+// at all — the two invariants BENCH_hmvp.json exists to pin.
 func compareBaseline(path string, cur []result) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -261,7 +278,7 @@ func compareBaseline(path string, cur []result) error {
 		}
 		ratio := r.NsPerOp / b.NsPerOp
 		status := "ok"
-		if strings.HasPrefix(r.Name, "Prepared/warm") {
+		if strings.HasPrefix(r.Name, "Prepared/warm") || strings.HasPrefix(r.Name, "Pack/warm") {
 			checked++
 			if ratio > maxWarmRegression {
 				status = "REGRESSION"

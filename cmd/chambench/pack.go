@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"cham"
+	"cham/internal/lwe"
+	"cham/internal/rlwe"
+)
+
+// runPack times the packing tree in isolation, so tree-vs-kernel
+// attribution no longer requires reading stage histograms. "Pack/warm"
+// runs the full m-leaf PackResident + FlushInto per op (gated by
+// bench-diff like the prepared applies); the optional "Pack/level" rows
+// time one PackTwoResident merge at each tree level i, the per-level
+// breakdown — the tree costs (m-1) merges plus one flush, and the rows
+// show the merge cost is level-independent.
+func runPack(ringN, m int, perLevel bool) ([]result, error) {
+	p, err := cham.NewParams(ringN)
+	if err != nil {
+		return nil, err
+	}
+	rng := cham.NewRNG(7)
+	sk := p.KeyGen(rng)
+	keys, err := lwe.GenPackingKeys(p, rng, sk, m)
+	if err != nil {
+		return nil, err
+	}
+	// m realistic leaves: fresh slot ciphertexts extracted at index 0 and
+	// lifted once into deferred NTT-resident form. The tree folds its
+	// buffers in place, so every timed op copies the pristine set into a
+	// reusable working set first (untimed).
+	pristine := make([]*lwe.PackNode, m)
+	work := make([]*lwe.PackNode, m)
+	for i := range pristine {
+		ct := p.Encrypt(rng, sk, p.EncodeVector([]uint64{rng.Uint64() % p.T.Q}), p.NormalLevels)
+		nd := lwe.NewPackNode(p)
+		lwe.ResidentFromRLWE(p, nd, lwe.Extract(p, ct, 0).AsRLWE(p))
+		pristine[i] = nd
+		work[i] = lwe.NewPackNode(p)
+	}
+	copyIn := func(dst, src *lwe.PackNode) {
+		dst.BT.CopyFrom(src.BT)
+		dst.A.CopyFrom(src.A)
+	}
+	out := &rlwe.Ciphertext{B: p.R.NewPoly(p.NormalLevels), A: p.R.NewPoly(p.NormalLevels)}
+	packOnce := func() error {
+		for j, src := range pristine {
+			copyIn(work[j], src)
+		}
+		root, err := lwe.PackResident(p, work, keys, 1)
+		if err != nil {
+			return err
+		}
+		lwe.FlushInto(p, out, root)
+		return nil
+	}
+	if err := packOnce(); err != nil { // correctness + pool warm-up
+		return nil, err
+	}
+	results := []result{bench(fmt.Sprintf("Pack/warm/N=%d", ringN), ringN, m, 0, func(b *testing.B) {
+		b.ReportAllocs()
+		// Re-warm inside the timed harness: testing.Benchmark GCs before
+		// each run, which can victimize the small pooled scratch shells,
+		// and that one-time refill must not land in the measured window.
+		if err := packOnce(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			if err := packOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})}
+	if !perLevel {
+		return results, nil
+	}
+	ms := lwe.GetMergeScratch(p)
+	defer lwe.PutMergeScratch(p, ms)
+	E, O := lwe.NewPackNode(p), lwe.NewPackNode(p)
+	for i := 1; i < m; i <<= 1 {
+		swk := keys.Keys[2*i+1]
+		results = append(results, bench(fmt.Sprintf("Pack/level/i=%d/N=%d", i, ringN), ringN, 2*i, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for it := 0; it < b.N; it++ {
+				b.StopTimer()
+				copyIn(E, pristine[0])
+				copyIn(O, pristine[1])
+				b.StartTimer()
+				lwe.PackTwoResident(p, E, i, E, O, swk, ms)
+			}
+		}))
+	}
+	return results, nil
+}

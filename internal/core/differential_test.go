@@ -240,7 +240,7 @@ func TestHMVPDifferentialNoise(t *testing.T) {
 	// Stage 5–9 — the packing tree multiplies each slot payload by mPad
 	// and adds key-switch noise per level; the result must also clear the
 	// decryption budget.
-	packBound := est.AfterPack(slotBound, mPad)
+	packBound := est.AfterPackDeferred(slotBound, mPad)
 	if budget := est.Budget(p.NormalLevels); packBound >= budget {
 		t.Errorf("stage pack: estimator bound %.1f bits exceeds decryption budget %.1f", packBound, budget)
 	}

@@ -244,13 +244,14 @@ func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext) error {
 
 // --- shared per-vector machinery (used by both ApplyInto and MatVec) ---
 
-// rowScratch is the per-worker arena for one row's stages 1–4.
+// rowScratch is the per-worker arena for one row's stages 1–4. The
+// a-part needs no accumulator of its own: it MACs straight into the tree
+// leaf's deferred full-basis buffer.
 type rowScratch struct {
-	acc  *rlwe.Ciphertext // full-basis NTT-domain accumulator
-	pt   *bfv.Plaintext   // on-the-fly row encoding (MatVec path)
-	lift *ring.Poly       // on-the-fly lifted row (MatVec path)
-	beta []uint64         // per-limb constant coefficient of acc.B
-	clk  obs.StageClock   // per-stage wall-time attribution (pooled, no allocs)
+	accB *ring.Poly     // full-basis NTT-domain b accumulator
+	pt   *bfv.Plaintext // on-the-fly row encoding (MatVec path)
+	lift *ring.Poly     // on-the-fly lifted row (MatVec path)
+	clk  obs.StageClock // per-stage wall-time attribution (pooled, no allocs)
 }
 
 func (e *Evaluator) getRowScratch() *rowScratch {
@@ -260,20 +261,19 @@ func (e *Evaluator) getRowScratch() *rowScratch {
 	r := e.P.R
 	full := r.Levels()
 	return &rowScratch{
-		acc:  &rlwe.Ciphertext{B: r.NewPoly(full), A: r.NewPoly(full)},
+		accB: r.NewPoly(full),
 		pt:   e.P.NewPlaintext(),
 		lift: r.NewPoly(full),
-		beta: make([]uint64, full),
 	}
 }
 
 func (e *Evaluator) putRowScratch(rs *rowScratch) { e.rowPool.Put(rs) }
 
 // applyScratch holds the per-call buffers shared across rows: the
-// NTT-domain vector chunks and the packing-tree ciphertexts.
+// NTT-domain vector chunks and the NTT-resident packing-tree nodes.
 type applyScratch struct {
 	vNTT []*rlwe.Ciphertext // full basis, NTT domain
-	tree []*rlwe.Ciphertext // normal basis; consumed by PackRLWEs
+	tree []*lwe.PackNode    // NTT-resident; consumed by PackResident
 	clk  obs.StageClock     // times the shared vector transforms
 }
 
@@ -299,7 +299,7 @@ func (e *Evaluator) getApplyScratch(chunks, mPad int) *applyScratch {
 	}
 	sc.vNTT = sc.vNTT[:chunks]
 	for len(sc.tree) < mPad {
-		sc.tree = append(sc.tree, &rlwe.Ciphertext{B: r.NewPoly(e.P.NormalLevels), A: r.NewPoly(e.P.NormalLevels)})
+		sc.tree = append(sc.tree, lwe.NewPackNode(e.P))
 	}
 	return sc
 }
@@ -363,16 +363,21 @@ func (e *Evaluator) loadVector(sc *applyScratch, ctV []*rlwe.Ciphertext) error {
 }
 
 // rowApplyInto runs stages 1–4 for one matrix row against the transformed
-// vector chunks and writes the extracted slot ciphertext (normal basis,
-// coefficient domain, plaintext at the constant coefficient) into dst.
-// Rows come either prepared (polys/shoup non-nil) or raw (row/scale), in
-// which case the encode+lift+NTT happens on the fly in rs.
-func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, polys []*ring.Poly, shoup [][][]uint64, row []uint64, scale uint64, rs *rowScratch) {
+// vector chunks and writes the extracted slot ciphertext into dst as an
+// NTT-resident tree leaf. Both leaf parts stay UN-rescaled: dst.A is the
+// raw full-basis NTT dot-product accumulator itself (the a-part MAC
+// writes straight into it — the tree's deferred a accumulator makes the
+// per-row RESCALE disappear), and dst.BT holds the un-rescaled per-limb B
+// constant in every slot (the NTT image of a constant). Both divisions
+// are deferred to the tree flush. Rows come either prepared (polys/shoup
+// non-nil) or raw (row/scale), in which case the encode+lift+NTT happens
+// on the fly in rs.
+func (e *Evaluator) rowApplyInto(dst *lwe.PackNode, vNTT []*rlwe.Ciphertext, polys []*ring.Poly, shoup [][][]uint64, row []uint64, scale uint64, rs *rowScratch) {
 	p := e.P
 	r := p.R
 	full := r.Levels()
-	acc := rs.acc
-	acc.B.IsNTT, acc.A.IsNTT = true, true
+	accB := rs.accB
+	accB.IsNTT, dst.A.IsNTT = true, true
 	rs.clk.Start()
 	for c := 0; c < len(vNTT); c++ {
 		pt := rs.lift
@@ -393,56 +398,31 @@ func (e *Evaluator) rowApplyInto(dst *rlwe.Ciphertext, vNTT []*rlwe.Ciphertext, 
 		}
 		switch {
 		case c == 0 && sh != nil:
-			r.MulCoeffShoup(acc.B, vNTT[c].B, pt, sh)
-			r.MulCoeffShoup(acc.A, vNTT[c].A, pt, sh)
+			r.MulCoeffShoupDual(accB, dst.A, vNTT[c].B, vNTT[c].A, pt, sh)
 		case c == 0:
-			r.MulCoeff(acc.B, vNTT[c].B, pt)
-			r.MulCoeff(acc.A, vNTT[c].A, pt)
+			r.MulCoeff(accB, vNTT[c].B, pt)
+			r.MulCoeff(dst.A, vNTT[c].A, pt)
 		case sh != nil:
-			r.MulCoeffShoupAdd(acc.B, vNTT[c].B, pt, sh)
-			r.MulCoeffShoupAdd(acc.A, vNTT[c].A, pt, sh)
+			r.MulCoeffShoupDualAdd(accB, dst.A, vNTT[c].B, vNTT[c].A, pt, sh)
 		default:
-			r.MulCoeffAdd(acc.B, vNTT[c].B, pt)
-			r.MulCoeffAdd(acc.A, vNTT[c].A, pt)
+			r.MulCoeffAdd(accB, vNTT[c].B, pt)
+			r.MulCoeffAdd(dst.A, vNTT[c].A, pt)
 		}
 		rs.clk.Mark(obs.StageRowMul)
 	}
 	// B: EXTRACT at index 0 keeps only the constant coefficient of the
-	// inverse transform, which is N^{-1}·Σ_j â_j per limb — sum each limb
-	// and RESCALE the scalar instead of inverse-transforming the polynomial.
+	// inverse transform, which is N^{-1}·Σ_j â_j per limb (SumRow). Its
+	// scalar RESCALE is DEFERRED to the tree flush: the leaf's BT carries
+	// the un-rescaled constant β per full-basis limb, whose NTT image is β
+	// in every slot.
 	for l := 0; l < full; l++ {
-		rs.beta[l] = r.Moduli[l].MulShoup(r.SumRow(acc.B, l), e.invN[l], e.invNShoup[l])
-	}
-	rs.clk.Mark(obs.StageExtract)
-	for lv := full; lv > p.NormalLevels; lv-- {
-		r.ModDownScalar(rs.beta, lv)
-	}
-	rs.clk.Mark(obs.StageModDown)
-	// A: full inverse transform, then the RESCALE chain into dst.A.
-	r.INTT(acc.A)
-	rs.clk.Mark(obs.StageINTT)
-	a := acc.A
-	for a.Levels() > p.NormalLevels+1 {
-		na := r.GetPoly(a.Levels() - 1)
-		r.ModDownInto(na, a)
-		if a != acc.A {
-			r.PutPoly(a)
-		}
-		a = na
-	}
-	r.ModDownInto(dst.A, a)
-	if a != acc.A {
-		r.PutPoly(a)
-	}
-	rs.clk.Mark(obs.StageModDown)
-	for l := 0; l < p.NormalLevels; l++ {
-		rb := dst.B.Coeffs[l]
+		beta := r.Moduli[l].MulShoup(r.SumRow(accB, l), e.invN[l], e.invNShoup[l])
+		rb := dst.BT.Coeffs[l]
 		for i := range rb {
-			rb[i] = 0
+			rb[i] = beta
 		}
-		rb[0] = rs.beta[l]
 	}
-	dst.B.IsNTT = false
+	dst.BT.IsNTT = true
 	rs.clk.Mark(obs.StageExtract)
 	rs.clk.Flush()
 }
@@ -463,16 +443,13 @@ func (e *Evaluator) tileApply(out *rlwe.Ciphertext, sc *applyScratch, tile *prep
 		e.putRowScratch(rs)
 	}
 	for i := rows; i < mPad; i++ {
-		sc.tree[i].B.Zero()
-		sc.tree[i].A.Zero()
-		sc.tree[i].B.IsNTT = false
-		sc.tree[i].A.IsNTT = false
+		sc.tree[i].Zero()
 	}
-	packed, err := lwe.PackRLWEs(e.P, sc.tree[:mPad], e.Keys, workers)
+	root, err := lwe.PackResident(e.P, sc.tree[:mPad], e.Keys, workers)
 	if err != nil {
 		return err
 	}
-	out.CopyFrom(packed)
+	lwe.FlushInto(e.P, out, root)
 	return nil
 }
 

@@ -1,13 +1,29 @@
 package lwe
 
-// Allocation-free packing tree. The recursive PackLWEs of Alg. 3 is
-// re-expressed iteratively: after ℓ levels the live groups sit in the
-// buffer prefix, and level ℓ (group size i = 2^ℓ) merges the pairs
-// (buf[j], buf[j+count/2]) — exactly the even/odd split of the recursion,
-// verified term-for-term against packRec. The m/2 merges inside one level
-// are independent, so they fan out across a worker pool; merges consume
-// their inputs in place, so the whole tree runs in the caller's m buffers
-// plus one pooled temporary per worker.
+// NTT-resident, allocation-free packing tree (DESIGN.md §12). The
+// recursive PackLWEs of Alg. 3 is re-expressed iteratively: after ℓ levels
+// the live groups sit in the buffer prefix, and level ℓ (group size
+// i = 2^ℓ) merges the pairs (buf[j], buf[j+count/2]) — exactly the
+// even/odd split of the recursion, verified term-for-term against packRec.
+// The m/2 merges inside one level are independent, so they fan out across
+// a worker pool; merges consume their inputs in place, so the whole tree
+// runs in the caller's m node buffers plus one pooled scratch per worker.
+//
+// Tree state never leaves the NTT domain. A node carries
+//
+//	(BT, A)  with true ciphertext  (ModDown(BT), ModDown(A)),
+//
+// BOTH parts full-basis NTT accumulators whose division by the special
+// modulus is DEFERRED: leaves enter as exact multiples P·ct (or as
+// un-rescaled row accumulators on the core fast path), every merge adds
+// its key-switch contributions to both parts un-rescaled, and the
+// rounding divisions run once per tree at FlushInto. Monomials are
+// pointwise multiplies, automorphisms are cached slot gathers, and the
+// only per-merge rescale is of the gathered difference a-part feeding the
+// digit decomposition — the one place the tree is nonlinear in a. Keeping
+// the a accumulator deferred is what lets core's row leaves skip their
+// per-row RESCALE entirely: the raw full-basis dot-product accumulator IS
+// the leaf.
 
 import (
 	"fmt"
@@ -17,19 +33,23 @@ import (
 
 	"cham/internal/bfv"
 	"cham/internal/obs"
+	"cham/internal/ring"
 	"cham/internal/rlwe"
 )
 
 // Stage telemetry: each tree merge splits into PACKTWOLWES arithmetic
-// (pack), the hoisted digit decomposition of the automorphism key switch
-// (decompose: centred RNS lifts + digit NTTs), and the key-dependent
-// remainder of the switch (key_switch: digit·key MULTPOLY, inverse
-// transforms, ModDown) — the stage families of the reduce buffer in the
-// hardware pipeline.
+// (pack: monomial multiplies, sums/differences, automorphism gathers),
+// the RESCALE of the gathered a-part feeding the switch (moddown), the
+// hoisted digit decomposition of the automorphism key switch (decompose),
+// and the key-dependent digit·key accumulation (key_switch). FlushInto's
+// tree-exit transforms and the deferred divisions of both parts report
+// under intt and moddown.
 var (
 	packSec   = obs.StageHistogram(obs.StagePack)
 	decSec    = obs.StageHistogram(obs.StageDecompose)
 	ksSec     = obs.StageHistogram(obs.StageKeySwitch)
+	pmdSec    = obs.StageHistogram(obs.StagePackModDown)
+	inttSec   = obs.StageHistogram(obs.StageINTT)
 	mergesCnt = obs.GetCounter("cham_hmvp_pack_merges_total",
 		"PACKTWOLWES tree merges (m-1 per packed tile).")
 )
@@ -65,24 +85,135 @@ func ExtractAsRLWEInto(p bfv.Params, out, ct *rlwe.Ciphertext, idx int) {
 	out.B.IsNTT = false
 }
 
-// PackTwoInto is PackTwoLWEs writing into a caller-owned ciphertext:
-// out = (ct_e + X^{N/2i}·ct_o) + φ_{2i+1}(ct_e - X^{N/2i}·ct_o).
-// ctE and ctO are consumed (overwritten as scratch); out may alias ctE but
-// not ctO. All temporaries are pooled.
-func PackTwoInto(p bfv.Params, out *rlwe.Ciphertext, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey) {
-	dec := p.GetDecomposition()
-	PackTwoHoisted(p, out, i, ctE, ctO, swk, dec)
-	p.PutDecomposition(dec)
+// PackNode is one NTT-resident packing-tree operand: both parts are
+// full-basis NTT accumulators with their special-modulus division
+// deferred — the ciphertext it stands for is (ModDown(BT), ModDown(A)).
+// Allocate with NewPackNode, fill with ResidentFromRLWE (or directly, as
+// core's row apply does), fold with PackResident, and leave residency
+// with FlushInto.
+type PackNode struct {
+	BT *ring.Poly // full basis, NTT domain; true b = ModDown(BT)
+	A  *ring.Poly // full basis, NTT domain; true a = ModDown(A)
 }
 
-// PackTwoHoisted is PackTwoInto with caller-owned hoisted key-switch
-// scratch: dec (from GetDecomposition) carries the digit buffers, so a
-// worker sweeping many merges reuses one cache-resident decomposition
-// arena for the whole pack-tree level instead of cycling the pool per
-// merge. The automorphism is applied in the coefficient domain first
-// (decomposition commutes with φ_k), then the switch runs decompose →
-// hoisted completion, with the two halves timed as separate stages.
-func PackTwoHoisted(p bfv.Params, out *rlwe.Ciphertext, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey, dec *rlwe.Decomposition) {
+// NewPackNode allocates an (uninitialized) resident tree node.
+func NewPackNode(p bfv.Params) *PackNode {
+	return &PackNode{BT: p.R.NewPoly(p.R.Levels()), A: p.R.NewPoly(p.R.Levels())}
+}
+
+// Zero resets nd to the resident zero ciphertext (the padding value of
+// partial tiles).
+func (nd *PackNode) Zero() {
+	nd.BT.Zero()
+	nd.A.Zero()
+	nd.BT.IsNTT = true
+	nd.A.IsNTT = true
+}
+
+// ResidentFromRLWE loads a normal-basis coefficient-domain slot ciphertext
+// into resident form: nd.BT = NTT(P·ct.B) and nd.A = NTT(P·ct.A) over the
+// full basis — EXACT multiples of the special modulus product P, so
+// ModDown(BT) = ct.B and ModDown(A) = ct.A with zero rounding error and
+// the deferred tree is bit-identical to the eager one for a single merge.
+// (P·x vanishes modulo every special limb, so those rows are zero.)
+func ResidentFromRLWE(p bfv.Params, nd *PackNode, ct *rlwe.Ciphertext) {
+	if ct.IsNTT() {
+		panic("lwe: ResidentFromRLWE requires coefficient domain")
+	}
+	r := p.R
+	n := r.N
+	full := r.Levels()
+	nl := p.NormalLevels
+	for l := 0; l < nl; l++ {
+		m := r.Moduli[l]
+		pl := uint64(1)
+		for sp := nl; sp < full; sp++ {
+			pl = m.Mul(pl, m.Reduce(r.Moduli[sp].Q))
+		}
+		pp := m.ShoupPrecomp(pl)
+		srcB, dstB := ct.B.Coeffs[l][:n], nd.BT.Coeffs[l][:n]
+		for i, v := range srcB {
+			dstB[i] = m.MulShoup(v, pl, pp)
+		}
+		r.Tables[l].ForwardLazy(dstB)
+		srcA, dstA := ct.A.Coeffs[l][:n], nd.A.Coeffs[l][:n]
+		for i, v := range srcA {
+			dstA[i] = m.MulShoup(v, pl, pp)
+		}
+		r.Tables[l].ForwardLazy(dstA)
+	}
+	for sp := nl; sp < full; sp++ {
+		rowB, rowA := nd.BT.Coeffs[sp][:n], nd.A.Coeffs[sp][:n]
+		for i := range rowB {
+			rowB[i] = 0
+			rowA[i] = 0
+		}
+	}
+	nd.BT.IsNTT = true
+	nd.A.IsNTT = true
+}
+
+// MergeScratch is the per-worker arena of one pack-tree sweep: the hoisted
+// decomposition digits plus the difference and key-switch accumulator
+// polynomials a merge needs. Obtain with GetMergeScratch, release with
+// PutMergeScratch; one scratch serves every merge a worker claims at a
+// tree level, keeping the buffers cache-resident instead of cycling the
+// pool per merge.
+type MergeScratch struct {
+	dec *rlwe.Decomposition
+	dBT *ring.Poly // full basis: E.BT - X^z·O.BT
+	dA  *ring.Poly // full basis: E.A - X^z·O.A
+	c1  *ring.Poly // full basis: Σ_j dec_j ∘ A_j
+	aN  *ring.Poly // normal basis, coefficient domain: rescaled gathered a
+}
+
+// msShells recycles MergeScratch headers; the buffers they carry come from
+// the ring and decomposition pools. Shells are ring-agnostic (five
+// pointers), so one process-wide pool is safe.
+var msShells sync.Pool
+
+// GetMergeScratch borrows a merge arena from the pools.
+func GetMergeScratch(p bfv.Params) *MergeScratch {
+	ms, ok := msShells.Get().(*MergeScratch)
+	if !ok {
+		ms = &MergeScratch{}
+	}
+	full := p.R.Levels()
+	ms.dec = p.GetDecomposition()
+	ms.dBT = p.R.GetPoly(full)
+	ms.dA = p.R.GetPoly(full)
+	ms.c1 = p.R.GetPoly(full)
+	ms.aN = p.R.GetPoly(p.NormalLevels)
+	return ms
+}
+
+// PutMergeScratch returns a merge arena to the pools. The caller must not
+// use ms afterwards.
+func PutMergeScratch(p bfv.Params, ms *MergeScratch) {
+	if ms == nil {
+		return
+	}
+	p.PutDecomposition(ms.dec)
+	p.R.PutPoly(ms.dBT)
+	p.R.PutPoly(ms.dA)
+	p.R.PutPoly(ms.c1)
+	p.R.PutPoly(ms.aN)
+	ms.dec, ms.dBT, ms.dA, ms.c1, ms.aN = nil, nil, nil, nil, nil
+	msShells.Put(ms)
+}
+
+// PackTwoResident merges two resident groups of size i without leaving the
+// NTT domain:
+//
+//	out = (E + X^{N/2i}·O) + φ_{2i+1}(E - X^{N/2i}·O),
+//
+// with the automorphism realised as a slot gather, its key switch
+// accumulated digit-resident, and BOTH key-switch contributions deferred
+// into the full-basis accumulators un-rescaled. The only rescale is of
+// the gathered difference a-part feeding the digit decomposition — the
+// one place the merge is nonlinear in a. E and O are consumed
+// (overwritten as scratch); out may alias E but not O.
+func PackTwoResident(p bfv.Params, out *PackNode, i int, E, O *PackNode, swk *rlwe.SwitchingKey, ms *MergeScratch) {
 	on := obs.On()
 	var t0 time.Time
 	if on {
@@ -91,54 +222,116 @@ func PackTwoHoisted(p bfv.Params, out *rlwe.Ciphertext, i int, ctE, ctO *rlwe.Ci
 	r := p.R
 	z := r.N / (2 * i)
 	k := 2*i + 1
-	p.MulMonomial(ctO, ctO, z) // ctO ← X^z·ctO, in place
-	minus := p.GetCiphertext(ctE.Levels())
-	p.Sub(minus, ctE, ctO)
-	p.Add(out, ctE, ctO)
-	// φ_k in the coefficient domain: minus decrypts under φ_k(s) after the
-	// permutation; the switch brings it back under s.
-	phiB := r.GetPoly(minus.Levels())
-	phiA := r.GetPoly(minus.Levels())
-	r.Automorph(phiB, minus.B, k)
-	r.Automorph(phiA, minus.A, k)
+	// One sweep computes sum and difference without materializing X^z·O
+	// (the difference lands in scratch before the sum can clobber E, which
+	// out may alias); the b gather then accumulates straight into the sum,
+	// while the a gather materializes into O's free buffer — the operand
+	// the rescale inverts next.
+	r.MonomialSplitNTT(out.BT, ms.dBT, E.BT, O.BT, z)
+	r.MonomialSplitNTT(out.A, ms.dA, E.A, O.A, z)
+	r.AutomorphNTTAddInto(out.BT, ms.dBT, k)
+	r.AutomorphNTT(O.A, ms.dA, k)
 	var t1 time.Time
 	if on {
 		t1 = time.Now()
 	}
-	p.DecomposeInto(dec, phiA)
+	// φ_k(diff) decrypts under φ_k(s); the switch brings its TRUE a-part
+	// ModDown(φ_k(dA)) back under s. The rescale runs in coefficient form —
+	// the view the digit lifts read anyway, so its inverse transforms
+	// replace (not add to) the decomposition's.
+	r.INTT(O.A)
+	a := O.A
+	for a.Levels() > p.NormalLevels+1 {
+		na := r.GetPoly(a.Levels() - 1)
+		r.ModDownInto(na, a)
+		if a != O.A {
+			r.PutPoly(a)
+		}
+		a = na
+	}
+	r.ModDownInto(ms.aN, a)
+	if a != O.A {
+		r.PutPoly(a)
+	}
 	var t2 time.Time
 	if on {
 		t2 = time.Now()
 	}
-	p.KeySwitchHoistedInto(minus.B, minus.A, dec, swk)
-	r.Add(minus.B, minus.B, phiB)
-	r.PutPoly(phiB)
-	r.PutPoly(phiA)
+	// Decomposition commutes with φ_k, so the digits are built straight
+	// from the gathered, rescaled a-part.
+	p.DecomposeInto(ms.dec, ms.aN)
 	var t3 time.Time
 	if on {
 		t3 = time.Now()
 	}
-	p.Add(out, out, minus)
-	p.PutCiphertext(minus)
+	p.KeySwitchAccumulateNTT(out.BT, ms.c1, ms.dec, swk)
+	// The switched a-part joins the accumulator un-rescaled, mirroring the
+	// b-part: both deferred divisions run once per tree, at FlushInto.
+	r.Add(out.A, out.A, ms.c1)
 	if on {
 		t4 := time.Now()
-		packSec.Observe(t1.Sub(t0).Seconds() + t4.Sub(t3).Seconds())
-		decSec.Observe(t2.Sub(t1).Seconds())
-		ksSec.Observe(t3.Sub(t2).Seconds())
+		packSec.Observe(t1.Sub(t0).Seconds())
+		pmdSec.Observe(t2.Sub(t1).Seconds())
+		decSec.Observe(t3.Sub(t2).Seconds())
+		ksSec.Observe(t4.Sub(t3).Seconds())
 		mergesCnt.Inc()
 	}
 }
 
-// PackRLWEs packs m := len(cts) RLWE slot ciphertexts (the AsRLWE form of
-// LWE extractions, normal basis, coefficient domain) into cts[0], which is
-// returned. m must be a power of two covered by keys. The entries of cts
+// FlushInto leaves residency: out.B = ModDown(INTT(nd.BT)) and out.A =
+// ModDown(INTT(nd.A)) — the whole tree's deferred divisions, once per
+// part. out must be a normal-basis ciphertext; nd is consumed.
+func FlushInto(p bfv.Params, out *rlwe.Ciphertext, nd *PackNode) {
+	on := obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
+	r := p.R
+	r.INTT(nd.BT)
+	r.INTT(nd.A)
+	var t1 time.Time
+	if on {
+		t1 = time.Now()
+	}
+	flushModDown(p, out.B, nd.BT)
+	flushModDown(p, out.A, nd.A)
+	if on {
+		t2 := time.Now()
+		inttSec.Observe(t1.Sub(t0).Seconds())
+		pmdSec.Observe(t2.Sub(t1).Seconds())
+	}
+}
+
+// flushModDown divides one full-basis coefficient-domain accumulator down
+// to the normal basis, pooling any intermediate levels. src is consumed.
+func flushModDown(p bfv.Params, dst, src *ring.Poly) {
+	r := p.R
+	x := src
+	for x.Levels() > p.NormalLevels+1 {
+		next := r.GetPoly(x.Levels() - 1)
+		r.ModDownInto(next, x)
+		if x != src {
+			r.PutPoly(x)
+		}
+		x = next
+	}
+	r.ModDownInto(dst, x)
+	if x != src {
+		r.PutPoly(x)
+	}
+}
+
+// PackResident folds m := len(nodes) resident slot ciphertexts into
+// nodes[0], which is returned still resident (FlushInto completes the
+// exit). m must be a power of two covered by keys. The entries of nodes
 // are consumed: every buffer is overwritten as tree scratch.
 //
 // Each tree level's independent merges run on min(workers, pairs)
-// goroutines; the merge for pair j touches only cts[j] and cts[j+half], so
-// the result is bit-identical for every worker count.
-func PackRLWEs(p bfv.Params, cts []*rlwe.Ciphertext, keys *PackingKeys, workers int) (*rlwe.Ciphertext, error) {
-	m := len(cts)
+// goroutines; the merge for pair j touches only nodes[j] and
+// nodes[j+half], so the result is bit-identical for every worker count.
+func PackResident(p bfv.Params, nodes []*PackNode, keys *PackingKeys, workers int) (*PackNode, error) {
+	m := len(nodes)
 	if m < 1 || m&(m-1) != 0 || m > p.R.N {
 		return nil, fmt.Errorf("lwe: cannot pack %d ciphertexts (need power of two in [1,N])", m)
 	}
@@ -149,10 +342,12 @@ func PackRLWEs(p bfv.Params, cts []*rlwe.Ciphertext, keys *PackingKeys, workers 
 		return nil, fmt.Errorf("lwe: packing keys cover m=%d < %d", keys.M, m)
 	}
 	count := m
+	var ms *MergeScratch // serial-path arena, shared by every level
 	for i := 1; i < m; i <<= 1 {
 		half := count / 2
 		swk := keys.Keys[2*i+1]
 		if swk == nil {
+			PutMergeScratch(p, ms)
 			return nil, fmt.Errorf("lwe: missing packing key for k=%d", 2*i+1)
 		}
 		if workers > 1 && half > 1 {
@@ -160,41 +355,109 @@ func PackRLWEs(p bfv.Params, cts []*rlwe.Ciphertext, keys *PackingKeys, workers 
 			if nw > half {
 				nw = half
 			}
-			packLevelParallel(p, cts, i, half, swk, nw)
+			packLevelParallel(p, nodes, i, half, swk, nw)
 		} else {
-			dec := p.GetDecomposition()
-			for j := 0; j < half; j++ {
-				PackTwoHoisted(p, cts[j], i, cts[j], cts[j+half], swk, dec)
+			if ms == nil {
+				ms = GetMergeScratch(p)
 			}
-			p.PutDecomposition(dec)
+			for j := 0; j < half; j++ {
+				PackTwoResident(p, nodes[j], i, nodes[j], nodes[j+half], swk, ms)
+			}
 		}
 		count = half
 	}
-	return cts[0], nil
+	PutMergeScratch(p, ms)
+	return nodes[0], nil
 }
 
 // packLevelParallel fans one tree level's merges across nw goroutines,
-// each reusing one hoisted decomposition arena for every merge it claims
-// at this level. It lives in its own function so the goroutine closure's
-// captures don't force the caller's loop variables onto the heap on the
-// serial path.
-func packLevelParallel(p bfv.Params, cts []*rlwe.Ciphertext, i, half int, swk *rlwe.SwitchingKey, nw int) {
+// each reusing one merge arena for every merge it claims at this level.
+// It lives in its own function so the goroutine closure's captures don't
+// force the caller's loop variables onto the heap on the serial path.
+func packLevelParallel(p bfv.Params, nodes []*PackNode, i, half int, swk *rlwe.SwitchingKey, nw int) {
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(nw)
 	for w := 0; w < nw; w++ {
 		go func() {
 			defer wg.Done()
-			dec := p.GetDecomposition()
-			defer p.PutDecomposition(dec)
+			ms := GetMergeScratch(p)
+			defer PutMergeScratch(p, ms)
 			for {
 				j := int(atomic.AddInt64(&next, 1)) - 1
 				if j >= half {
 					return
 				}
-				PackTwoHoisted(p, cts[j], i, cts[j], cts[j+half], swk, dec)
+				PackTwoResident(p, nodes[j], i, nodes[j], nodes[j+half], swk, ms)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// PackTwoInto is PackTwoLWEs writing into a caller-owned ciphertext:
+// out = (ct_e + X^{N/2i}·ct_o) + φ_{2i+1}(ct_e - X^{N/2i}·ct_o).
+// ctE and ctO are consumed (overwritten as scratch); out may alias ctE but
+// not ctO. All temporaries are pooled. A single merge's deferred divisions
+// are exact (the leaves enter as P·b and P·a), so the result is
+// bit-identical to the eager per-merge ModDown schedule.
+func PackTwoInto(p bfv.Params, out *rlwe.Ciphertext, i int, ctE, ctO *rlwe.Ciphertext, swk *rlwe.SwitchingKey) {
+	r := p.R
+	e := getPackNode(p)
+	o := getPackNode(p)
+	ResidentFromRLWE(p, e, ctE)
+	ResidentFromRLWE(p, o, ctO)
+	ms := GetMergeScratch(p)
+	PackTwoResident(p, e, i, e, o, swk, ms)
+	PutMergeScratch(p, ms)
+	FlushInto(p, out, e)
+	putPackNode(r, e)
+	putPackNode(r, o)
+}
+
+// PackRLWEs packs m := len(cts) RLWE slot ciphertexts (the AsRLWE form of
+// LWE extractions, normal basis, coefficient domain) into cts[0], which is
+// returned. m must be a power of two covered by keys. The entries of cts
+// are consumed: every buffer is overwritten as tree scratch.
+//
+// The tree itself runs NTT-resident with the b-part division deferred to
+// one flush (see PackResident); the packed plaintext is unchanged, and
+// the output noise is slightly LOWER than the eager schedule's (one
+// rounding instead of one per merge level).
+func PackRLWEs(p bfv.Params, cts []*rlwe.Ciphertext, keys *PackingKeys, workers int) (*rlwe.Ciphertext, error) {
+	m := len(cts)
+	if m == 1 {
+		return cts[0], nil
+	}
+	r := p.R
+	nodes := make([]*PackNode, m)
+	ok := m >= 1 && m&(m-1) == 0 && m <= r.N
+	for j := range nodes {
+		nodes[j] = getPackNode(p)
+		if ok {
+			ResidentFromRLWE(p, nodes[j], cts[j])
+		}
+	}
+	root, err := PackResident(p, nodes, keys, workers)
+	if err == nil {
+		FlushInto(p, cts[0], root)
+	}
+	for _, nd := range nodes {
+		putPackNode(r, nd)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cts[0], nil
+}
+
+// getPackNode borrows a resident node whose polynomial buffers come from
+// the ring pools (contents arbitrary).
+func getPackNode(p bfv.Params) *PackNode {
+	return &PackNode{BT: p.R.GetPoly(p.R.Levels()), A: p.R.GetPoly(p.R.Levels())}
+}
+
+func putPackNode(r *ring.Ring, nd *PackNode) {
+	r.PutPoly(nd.BT)
+	r.PutPoly(nd.A)
 }

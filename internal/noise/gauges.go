@@ -30,7 +30,7 @@ func (e *Estimator) PublishBudget(m int) {
 	fresh := e.FreshSym()
 	mul := e.AfterMulPlain(fresh, float64(e.P.T.Q)/2)
 	res := e.AfterRescale(mul)
-	pack := e.AfterPack(res, m)
+	pack := e.AfterPackDeferred(res, m)
 	full := e.Budget(e.P.R.Levels())
 	normal := e.Budget(e.P.NormalLevels)
 	gFresh.Set(full - fresh)

@@ -93,6 +93,29 @@ func (e *Estimator) KeySwitchAdditive() float64 {
 	return log2(e.Slack * (prod/p + round))
 }
 
+// KeySwitchAdditiveDeferred bounds the per-merge additive noise of the
+// NTT-resident tree's key switch (DESIGN.md §12), where the b-part
+// division is deferred to the tree flush. A merge then contributes the
+// digit convolution (division by p is linear, so it may be accounted per
+// merge even though it runs once) plus only the a-part ModDown rounding:
+// the rounding error e_a is uniform in [-1/2,1/2] (variance 1/12) and
+// multiplies the ternary secret, ‖e_a·s‖ ≈ sqrt(N·(2/3)·(1/12)) =
+// sqrt(N/18) — slightly tighter than the eager bound's sqrt(N)/2, which
+// also absorbs the per-merge b rounding.
+func (e *Estimator) KeySwitchAdditiveDeferred() float64 {
+	qMax := 0.0
+	for _, m := range e.P.R.Moduli[:e.P.NormalLevels] {
+		if q := float64(m.Q); q > qMax {
+			qMax = q
+		}
+	}
+	p := float64(e.P.R.Moduli[e.P.R.Levels()-1].Q)
+	dnum := float64(e.P.NormalLevels)
+	prod := (qMax / 2) * e.Sigma * math.Sqrt(e.n()) * math.Sqrt(dnum)
+	roundA := math.Sqrt(e.n() / 18)
+	return log2(e.Slack * (prod/p + roundA))
+}
+
 // AfterPack bounds noise after packing m = 2^l LWE ciphertexts whose
 // inputs carry noise 2^base: each tree level doubles the carried noise
 // and adds one key switch.
@@ -108,13 +131,32 @@ func (e *Estimator) AfterPack(base float64, m int) float64 {
 	return log2(math.Pow(2, carried) + math.Pow(2, ksTotal))
 }
 
+// AfterPackDeferred bounds noise after the NTT-resident deferred tree
+// (DESIGN.md §12): carried noise and per-merge key-switch noise double
+// per level exactly as in AfterPack, but each merge charges only the
+// deferred (a-side) rounding, and the single flush division adds one
+// b-side rounding of at most 1/2 per coefficient — an O(1) term with no
+// secret multiplication, since only the b polynomial is rounded.
+// For any m this is ≤ AfterPack: deferring ModDown never costs noise.
+func (e *Estimator) AfterPackDeferred(base float64, m int) float64 {
+	levels := 0
+	for v := 1; v < m; v <<= 1 {
+		levels++
+	}
+	carried := base + float64(levels) // ×2 per level
+	ksTotal := e.KeySwitchAdditiveDeferred() + float64(levels)
+	flush := log2(e.Slack / 2) // single deferred b division rounds by ≤ 1/2
+	return log2(math.Pow(2, carried) + math.Pow(2, ksTotal) + math.Pow(2, flush))
+}
+
 // HMVPOutput bounds the end-to-end noise of Alg. 1 with an m-row tile and
-// full-range plaintext rows (bounded by t/2).
+// full-range plaintext rows (bounded by t/2), using the deferred tree
+// bound the pipeline actually runs.
 func (e *Estimator) HMVPOutput(m int) float64 {
 	fresh := e.FreshSym()
 	mul := e.AfterMulPlain(fresh, float64(e.P.T.Q)/2)
 	res := e.AfterRescale(mul)
-	return e.AfterPack(res, m)
+	return e.AfterPackDeferred(res, m)
 }
 
 // MaxPackRows returns the largest power-of-two tile that keeps the

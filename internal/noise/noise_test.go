@@ -127,6 +127,29 @@ func TestPackBound(t *testing.T) {
 	}
 	predicted := est.AfterPack(est.FreshSym(), m)
 	checkBound(t, "pack-64", measured, predicted, 12)
+	// The tree runs the deferred ModDown schedule (DESIGN.md §12), so the
+	// tighter deferred bound must also hold against the same measurement.
+	checkBound(t, "pack-64 deferred", measured, est.AfterPackDeferred(est.FreshSym(), m), 12)
+}
+
+// TestDeferredModDownInvariant: deferring the b-part ModDown across tree
+// levels never costs noise — for every tile size the deferred bound sits
+// at or below the eager bound, and the end-to-end estimate (which uses
+// the deferred schedule) still clears the decryption budget.
+func TestDeferredModDownInvariant(t *testing.T) {
+	p, est, _, _ := testSetup(t, 256)
+	for m := 1; m <= p.R.N; m <<= 1 {
+		fresh := est.FreshSym()
+		eager := est.AfterPack(fresh, m)
+		deferred := est.AfterPackDeferred(fresh, m)
+		if deferred > eager+1e-9 {
+			t.Errorf("m=%d: deferred bound %.2f exceeds eager bound %.2f", m, deferred, eager)
+		}
+		if out := est.HMVPOutput(m); out >= est.Budget(p.NormalLevels) {
+			t.Errorf("m=%d: deferred HMVP estimate %.1f exceeds budget %.1f",
+				m, out, est.Budget(p.NormalLevels))
+		}
+	}
 }
 
 // TestHMVPBudget: the end-to-end estimate stays below the decryption

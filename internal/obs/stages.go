@@ -3,29 +3,31 @@ package obs
 import "time"
 
 // The HMVP stage taxonomy (DESIGN.md §7/§9): the paper's nine pipeline
-// stages plus the hoisted digit-decomposition split of the key switch.
-// These indices and names are the single source of truth shared by the
+// stages plus the hoisted digit-decomposition split of the key switch and
+// the deferred pack-tree ModDown split — eleven stages in all. These
+// indices and names are the single source of truth shared by the
 // instrumented kernels (internal/core, internal/lwe), the exposition
 // format, cmd/chamtop, and the documentation: a stage renamed here
 // renames everywhere.
 const (
-	StageEncode    = iota // row coefficient encoding (Eq. 1)
-	StageLift             // CRT lift to the augmented basis
-	StageNTT              // forward transforms (rows + vector chunks)
-	StageRowMul           // MULTPOLY multiply-accumulate (Eq. 2)
-	StageINTT             // inverse transform of the accumulator
-	StageExtract          // EXTRACTLWES constant-coefficient extraction (Eq. 3)
-	StagePack             // PACKTWOLWES tree arithmetic (Alg. 2/3)
-	StageDecompose        // hoisted RNS digit decomposition + digit NTTs
-	StageKeySwitch        // automorphism key switches inside packing
-	StageModDown          // RESCALE / ModDown chains (poly and scalar)
+	StageEncode      = iota // row coefficient encoding (Eq. 1)
+	StageLift               // CRT lift to the augmented basis
+	StageNTT                // forward transforms (rows + vector chunks)
+	StageRowMul             // MULTPOLY multiply-accumulate (Eq. 2)
+	StageINTT               // inverse transform of the accumulator
+	StageExtract            // EXTRACTLWES constant-coefficient extraction (Eq. 3)
+	StagePack               // PACKTWOLWES tree arithmetic (Alg. 2/3)
+	StageDecompose          // hoisted RNS digit decomposition + digit NTTs
+	StageKeySwitch          // automorphism key-switch accumulation inside packing
+	StagePackModDown        // pack-tree RESCALE: per-merge a-part + deferred b flush
+	StageModDown            // row-apply RESCALE / ModDown chains (poly and scalar)
 	NumStages
 )
 
 // StageNames maps stage indices to their metric label values.
 var StageNames = [NumStages]string{
 	"encode", "lift", "ntt", "row_mul", "intt",
-	"extract", "pack", "decompose", "key_switch", "mod_down",
+	"extract", "pack", "decompose", "key_switch", "moddown", "mod_down",
 }
 
 // stageHists holds the per-stage latency histograms of the

@@ -128,6 +128,7 @@ func HMVP(p bfv.Params, A [][]uint64, ctV []*rlwe.Ciphertext, keys map[int]*Swit
 			new(big.Int).Exp(big.NewInt(2), big.NewInt(int64(l)), tB), tB)
 
 		slots := make([]*Ciphertext, 0, mPad)
+		nodes := make([]*PackedNode, 0, mPad)
 		for i := 0; i < rows; i++ {
 			row := A[base+i]
 			accB := NewPoly(n, fullQ)
@@ -142,26 +143,34 @@ func HMVP(p bfv.Params, A [][]uint64, ctV []*rlwe.Ciphertext, keys map[int]*Swit
 				accA = accA.Add(pt.Mul(tr.Vector[c].A))
 			}
 			// Stage 4: the B-part survives only at its constant coefficient
-			// (extraction at index 0), rescaled as a scalar; the A-part is
-			// rescaled as a polynomial.
+			// (extraction at index 0). BOTH leaf divisions are DEFERRED:
+			// the tree leaf keeps the un-rescaled full-basis constant β and
+			// the raw full-basis a accumulator (exactly core's NTT-resident
+			// leaf), while the trace's slot view holds the rescaled forms
+			// for per-stage noise diagnostics.
+			a := ModDownTo(accA, full, p.NormalLevels)
+			bt := NewPoly(n, fullQ)
+			bt.Coeffs[0].Set(accB.Coeffs[0])
+			nodes = append(nodes, &PackedNode{BT: bt, A: accA})
+
 			beta := new(big.Int).Set(accB.Coeffs[0])
 			for lv := len(full); lv > p.NormalLevels; lv-- {
 				beta = ModDownScalar(beta, full[lv-1], ModulusProduct(full[:lv-1]))
 			}
 			b := NewPoly(n, normalQ)
 			b.Coeffs[0].Set(beta)
-			slots = append(slots, &Ciphertext{B: b, A: ModDownTo(accA, full, p.NormalLevels)})
+			slots = append(slots, &Ciphertext{B: b, A: a})
 		}
-		for len(slots) < mPad {
-			slots = append(slots, ZeroCiphertext(n, normalQ))
+		for len(nodes) < mPad {
+			nodes = append(nodes, &PackedNode{BT: NewPoly(n, fullQ), A: NewPoly(n, fullQ)})
 		}
 		tr.Slots = append(tr.Slots, slots[:rows])
 
-		packed, err := PackCiphertexts(slots, keys, full, p.NormalLevels)
+		root, err := PackDeferred(nodes, keys, full, p.NormalLevels)
 		if err != nil {
 			return nil, err
 		}
-		tr.Packed = append(tr.Packed, packed)
+		tr.Packed = append(tr.Packed, FlushDeferred(root, full, p.NormalLevels))
 	}
 	return tr, nil
 }

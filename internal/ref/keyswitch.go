@@ -54,11 +54,13 @@ func decomposeDigit(a *Poly, qj uint64, fullQ *big.Int) *Poly {
 	return out
 }
 
-// KeySwitch re-encrypts the phase of the bare a-part under the switching
-// key: it returns the (b, a) contribution pair modulo the normal-basis
-// modulus. moduli is the FULL basis; normalLevels counts the normal limbs.
-// The caller adds the original b-part, exactly as rlwe.KeySwitchInto does.
-func KeySwitch(a *Poly, swk *SwitchingKey, moduli []uint64, normalLevels int) (*Poly, *Poly) {
+// KeySwitchDeferred re-encrypts the phase of the bare a-part under the
+// switching key with BOTH divisions DEFERRED: it returns the raw digit·key
+// accumulations modulo the full basis (c0 = Σ_j d_j·B_j, c1 = Σ_j d_j·A_j,
+// un-rescaled). This is the reference form of rlwe.KeySwitchAccumulateNTT —
+// the deferred packing tree adds many raw pairs before dividing once per
+// part.
+func KeySwitchDeferred(a *Poly, swk *SwitchingKey, moduli []uint64, normalLevels int) (*Poly, *Poly) {
 	fullQ := ModulusProduct(moduli)
 	c0 := NewPoly(len(a.Coeffs), fullQ)
 	c1 := NewPoly(len(a.Coeffs), fullQ)
@@ -67,9 +69,16 @@ func KeySwitch(a *Poly, swk *SwitchingKey, moduli []uint64, normalLevels int) (*
 		c0 = c0.Add(d.Mul(swk.Bs[j]))
 		c1 = c1.Add(d.Mul(swk.As[j]))
 	}
-	b := ModDownTo(c0, moduli, normalLevels)
-	av := ModDownTo(c1, moduli, normalLevels)
-	return b, av
+	return c0, c1
+}
+
+// KeySwitch re-encrypts the phase of the bare a-part under the switching
+// key: it returns the (b, a) contribution pair modulo the normal-basis
+// modulus. moduli is the FULL basis; normalLevels counts the normal limbs.
+// The caller adds the original b-part, exactly as rlwe.KeySwitchInto does.
+func KeySwitch(a *Poly, swk *SwitchingKey, moduli []uint64, normalLevels int) (*Poly, *Poly) {
+	c0, c1 := KeySwitchDeferred(a, swk, moduli, normalLevels)
+	return ModDownTo(c0, moduli, normalLevels), ModDownTo(c1, moduli, normalLevels)
 }
 
 // AutomorphCt applies X -> X^k to the ciphertext and key-switches back

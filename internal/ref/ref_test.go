@@ -290,3 +290,32 @@ func TestRoundToT(t *testing.T) {
 		t.Fatalf("round-half-up case = %d, want 4", got)
 	}
 }
+
+// TestAutomorphNTTMatchesRef: the ring's NTT-slot permutation tables
+// (ring.AutomorphNTT, the gather the resident tree runs per merge) must
+// agree with the big-integer reference automorphism for every k = 2i+1
+// the packing tree uses, at both the test and production ring degrees.
+func TestAutomorphNTTMatchesRef(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{256, 4096} {
+		p := testParams(t, n)
+		r := p.R
+		ms := moduliOf(r)
+		rng := testutil.NewRand(t)
+		a := r.NewPoly(r.Levels())
+		r.UniformPoly(rng, a)
+		want := Compose(a, ms)
+		aHat := r.NewPoly(r.Levels())
+		aHat.CopyFrom(a)
+		r.NTT(aHat)
+		got := r.NewPoly(r.Levels())
+		for i := 1; i < n; i <<= 1 {
+			k := 2*i + 1
+			r.AutomorphNTT(got, aHat, k)
+			r.INTT(got)
+			if !want.Automorph(k).MatchesRNS(got, ms) {
+				t.Fatalf("N=%d k=%d: AutomorphNTT differs from ref.Automorph", n, k)
+			}
+		}
+	}
+}

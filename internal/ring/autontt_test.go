@@ -1,0 +1,153 @@
+package ring
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cham/internal/testutil"
+)
+
+// nttCopy returns a forward-transformed copy of p.
+func nttCopy(r *Ring, p *Poly) *Poly {
+	q := p.Copy()
+	r.NTT(q)
+	return q
+}
+
+// TestAutomorphNTTMatchesCoeff: the cached slot gather must equal
+// NTT ∘ Automorph ∘ INTT for every automorphism index the packing tree
+// uses (k = 2i+1, i a power of two) plus arbitrary odd k, including the
+// in-place aliased call.
+func TestAutomorphNTTMatchesCoeff(t *testing.T) {
+	for _, n := range []int{16, 256} {
+		r := chamRing(t, n)
+		rng := testutil.NewRand(t)
+		a := randPoly(r, rng, 3)
+		ks := []int{-3, -1, 1, 7, 2*n - 1}
+		for i := 1; i < n; i <<= 1 {
+			ks = append(ks, 2*i+1)
+		}
+		for _, k := range ks {
+			want := r.NewPoly(3)
+			r.Automorph(want, a, k)
+			r.NTT(want)
+
+			aN := nttCopy(r, a)
+			got := r.NewPoly(3)
+			r.AutomorphNTT(got, aN, k)
+			if !got.Equal(want) {
+				t.Fatalf("N=%d k=%d: AutomorphNTT != NTT(Automorph)", n, k)
+			}
+			// Aliased in-place call must agree too.
+			r.AutomorphNTT(aN, aN, k)
+			if !aN.Equal(want) {
+				t.Fatalf("N=%d k=%d: in-place AutomorphNTT differs", n, k)
+			}
+		}
+	}
+}
+
+func TestAutomorphNTTRejectsEvenK(t *testing.T) {
+	r := chamRing(t, 16)
+	p := r.NewPoly(2)
+	p.IsNTT = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even k accepted")
+		}
+	}()
+	r.AutomorphNTT(p, p, 4)
+}
+
+func TestMulMonomialNTTMatchesCoeff(t *testing.T) {
+	n := 64
+	r := chamRing(t, n)
+	rng := testutil.NewRand(t)
+	a := randPoly(r, rng, 3)
+	for _, e := range []int{0, 1, 5, n - 1, n, n + 3, 2*n - 1, -1, -n, -5} {
+		want := r.NewPoly(3)
+		r.MulMonomial(want, a, e)
+		r.NTT(want)
+
+		aN := nttCopy(r, a)
+		got := r.NewPoly(3)
+		r.MulMonomialNTT(got, aN, e)
+		if !got.Equal(want) {
+			t.Fatalf("e=%d: MulMonomialNTT != NTT(MulMonomial)", e)
+		}
+		r.MulMonomialNTT(aN, aN, e)
+		if !aN.Equal(want) {
+			t.Fatalf("e=%d: in-place MulMonomialNTT differs", e)
+		}
+	}
+}
+
+// TestModDownNTTMatchesCoeff: the resident RESCALE must be slot-for-slot
+// identical to the coefficient-domain ModDownInto bracketed by transforms,
+// for both the plain and the fused-accumulate form, across the whole
+// {q0,q1,p} → {q0,q1} → {q0} chain.
+func TestModDownNTTMatchesCoeff(t *testing.T) {
+	n := 128
+	r := chamRing(t, n)
+	rng := testutil.NewRand(t)
+	for lv := 3; lv >= 2; lv-- {
+		p := randPoly(r, rng, lv)
+		want := r.NewPoly(lv - 1)
+		r.ModDownInto(want, p)
+		r.NTT(want)
+
+		pN := nttCopy(r, p)
+		got := r.NewPoly(lv - 1)
+		r.ModDownNTTInto(got, pN)
+		if !got.Equal(want) {
+			t.Fatalf("lv=%d: ModDownNTTInto != NTT(ModDownInto)", lv)
+		}
+
+		// Fused accumulate: out += rescaled p.
+		base := randPoly(r, rng, lv-1)
+		baseN := nttCopy(r, base)
+		sum := r.NewPoly(lv - 1)
+		r.Add(sum, baseN, got)
+		r.ModDownNTTAddInto(baseN, pN)
+		if !baseN.Equal(sum) {
+			t.Fatalf("lv=%d: ModDownNTTAddInto != Add(out, ModDownNTTInto)", lv)
+		}
+	}
+}
+
+// FuzzAutomorphNTT: for random polynomials and any valid (odd)
+// automorphism index, the NTT-slot permutation must equal the
+// coefficient-domain Automorph composed with the transforms.
+func FuzzAutomorphNTT(f *testing.F) {
+	n := 32
+	r := chamRing(f, n)
+	f.Add(uint32(1), []byte{1, 2, 3})
+	f.Add(uint32(3), []byte{0xff, 0x00, 0x80, 0x7f})
+	f.Add(uint32(2*16+1), []byte{9, 9, 9, 9, 9, 9, 9, 9, 1})
+	f.Fuzz(func(t *testing.T, kRaw uint32, data []byte) {
+		k := int(kRaw)%(2*n) | 1 // force odd, in [1, 2N)
+		a := r.NewPoly(3)
+		for l := range a.Coeffs {
+			q := r.Moduli[l].Q
+			for i := range a.Coeffs[l] {
+				var w uint64
+				if len(data) > 0 {
+					off := (l*n + i) * 3 % len(data)
+					var buf [8]byte
+					copy(buf[:], data[off:])
+					w = binary.LittleEndian.Uint64(buf[:])
+				}
+				a.Coeffs[l][i] = w % q
+			}
+		}
+		want := r.NewPoly(3)
+		r.Automorph(want, a, k)
+		r.NTT(want)
+		aN := nttCopy(r, a)
+		got := r.NewPoly(3)
+		r.AutomorphNTT(got, aN, k)
+		if !got.Equal(want) {
+			t.Fatalf("k=%d: AutomorphNTT != NTT(Automorph)", k)
+		}
+	})
+}

@@ -131,6 +131,80 @@ func (r *Ring) MulCoeffShoupAdd(out, a, b *Poly, bShoup [][]uint64) {
 	}
 }
 
+// MulCoeffShoupPair sets out = a0 ∘ b0 + a1 ∘ b1 in one sweep — the
+// two-digit key-switch accumulation fused so out is written once instead
+// of once per digit. s0/s1 are the Shoup companions of b0/b1.
+func (r *Ring) MulCoeffShoupPair(out, a0, b0 *Poly, s0 [][]uint64, a1, b1 *Poly, s1 [][]uint64) {
+	lv := sameLevels(out, a0, b0, a1, b1)
+	sameDomain(a0, b0, a1, b1)
+	for l := 0; l < lv; l++ {
+		m := r.Moduli[l]
+		ra0, rb0, rs0 := a0.Coeffs[l], b0.Coeffs[l], s0[l]
+		ra1, rb1, rs1 := a1.Coeffs[l], b1.Coeffs[l], s1[l]
+		ro := out.Coeffs[l]
+		for i := range ro {
+			ro[i] = m.Add(m.MulShoup(ra0[i], rb0[i], rs0[i]), m.MulShoup(ra1[i], rb1[i], rs1[i]))
+		}
+	}
+	out.IsNTT = a0.IsNTT
+}
+
+// MulCoeffShoupPairAdd sets out += a0 ∘ b0 + a1 ∘ b1 in one sweep (the
+// accumulating form of MulCoeffShoupPair).
+func (r *Ring) MulCoeffShoupPairAdd(out, a0, b0 *Poly, s0 [][]uint64, a1, b1 *Poly, s1 [][]uint64) {
+	lv := sameLevels(out, a0, b0, a1, b1)
+	sameDomain(a0, b0, a1, b1)
+	for l := 0; l < lv; l++ {
+		m := r.Moduli[l]
+		ra0, rb0, rs0 := a0.Coeffs[l], b0.Coeffs[l], s0[l]
+		ra1, rb1, rs1 := a1.Coeffs[l], b1.Coeffs[l], s1[l]
+		ro := out.Coeffs[l]
+		for i := range ro {
+			t := m.Add(m.MulShoup(ra0[i], rb0[i], rs0[i]), m.MulShoup(ra1[i], rb1[i], rs1[i]))
+			ro[i] = m.Add(ro[i], t)
+		}
+	}
+}
+
+// MulCoeffShoupDual multiplies one fixed operand against two polynomials
+// in a single sweep: outB = aB ∘ b and outA = aA ∘ b, reading b and its
+// Shoup table once — the dot-product MAC of the row apply, where the
+// prepared row multiplies both halves of a vector ciphertext.
+func (r *Ring) MulCoeffShoupDual(outB, outA, aB, aA, b *Poly, bShoup [][]uint64) {
+	lv := sameLevels(outB, outA, aB, aA, b)
+	sameDomain(aB, aA, b)
+	for l := 0; l < lv; l++ {
+		m := r.Moduli[l]
+		rb, ra := aB.Coeffs[l], aA.Coeffs[l]
+		rk, rs := b.Coeffs[l], bShoup[l]
+		rob, roa := outB.Coeffs[l], outA.Coeffs[l]
+		for i := range rob {
+			k, s := rk[i], rs[i]
+			rob[i] = m.MulShoup(rb[i], k, s)
+			roa[i] = m.MulShoup(ra[i], k, s)
+		}
+	}
+	outB.IsNTT, outA.IsNTT = aB.IsNTT, aA.IsNTT
+}
+
+// MulCoeffShoupDualAdd is the accumulating form of MulCoeffShoupDual:
+// outB += aB ∘ b and outA += aA ∘ b in one sweep.
+func (r *Ring) MulCoeffShoupDualAdd(outB, outA, aB, aA, b *Poly, bShoup [][]uint64) {
+	lv := sameLevels(outB, outA, aB, aA, b)
+	sameDomain(aB, aA, b)
+	for l := 0; l < lv; l++ {
+		m := r.Moduli[l]
+		rb, ra := aB.Coeffs[l], aA.Coeffs[l]
+		rk, rs := b.Coeffs[l], bShoup[l]
+		rob, roa := outB.Coeffs[l], outA.Coeffs[l]
+		for i := range rob {
+			k, s := rk[i], rs[i]
+			rob[i] = m.Add(rob[i], m.MulShoup(rb[i], k, s))
+			roa[i] = m.Add(roa[i], m.MulShoup(ra[i], k, s))
+		}
+	}
+}
+
 // SumRow returns Σ_i p.Coeffs[l][i] mod q_l, accumulated in 128 bits and
 // reduced once. For an NTT-domain row, N^-1 times this sum is the constant
 // coefficient of the inverse transform (Σ_j ψ^{ij·...} telescopes to zero

@@ -37,6 +37,15 @@ type Ring struct {
 	// RESCALE constants for dropping limb sp into limb l — cached here so
 	// ModDown never recomputes a Fermat inversion per call.
 	modDownInv, modDownInvShoup [][]uint64
+
+	// autoPerm caches the NTT-slot gather table of the automorphism X→X^k
+	// per index k, and monoNTT the per-limb NTT image of X^e (with Shoup
+	// companions) per exponent e; see autontt.go. Both are built lazily
+	// under their mutexes and read lock-shared on the hot path.
+	autoMu   sync.RWMutex
+	autoPerm map[int][]uint32
+	monoMu   sync.RWMutex
+	monoNTT  map[int]*monoTable
 }
 
 // New constructs a Ring of degree n over the given prime moduli. Every
@@ -45,7 +54,11 @@ func New(n int, moduli []uint64) (*Ring, error) {
 	if len(moduli) == 0 {
 		return nil, fmt.Errorf("ring: empty modulus chain")
 	}
-	r := &Ring{N: n}
+	r := &Ring{
+		N:        n,
+		autoPerm: map[int][]uint32{},
+		monoNTT:  map[int]*monoTable{},
+	}
 	seen := map[uint64]bool{}
 	for _, q := range moduli {
 		if seen[q] {

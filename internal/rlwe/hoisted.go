@@ -135,6 +135,111 @@ func (p Params) DecomposeInto(dec *Decomposition, a *ring.Poly) {
 	}
 }
 
+// DecomposeNTTInto is DecomposeInto for an NTT-resident a-part, the form
+// the NTT-resident packing tree feeds it (DESIGN.md §12). Digit j's own
+// limb row is a verbatim copy of a's NTT row (the centred lift is the
+// identity modulo its own limb, and the transform of identical inputs is
+// identical), so only the cross-limb rows pay transforms: one inverse per
+// normal limb to recover the coefficient view the lifts read, then one
+// forward per cross row, paired per limb under one twiddle sweep. For the
+// CHAM basis that is 2 inverse + 4 forward row transforms versus the 6
+// forward of the coefficient path — and the caller saved the 2-row inverse
+// that used to produce the coefficient input in the first place.
+func (p Params) DecomposeNTTInto(dec *Decomposition, a *ring.Poly) {
+	r := p.R
+	if !a.IsNTT {
+		panic("rlwe: DecomposeNTTInto requires an NTT-domain input")
+	}
+	lv := r.Levels()
+	n := r.N
+	nl := p.NormalLevels
+	cf := r.GetPoly(nl)
+	for j := 0; j < nl; j++ {
+		copy(cf.Coeffs[j][:n], a.Coeffs[j][:n])
+		r.Tables[j].InverseLazy(cf.Coeffs[j])
+	}
+	for j := 0; j < nl; j++ {
+		md := r.Moduli[j]
+		src := cf.Coeffs[j][:n]
+		half := md.Q / 2
+		out := dec.Digits[j]
+		for l := 0; l < lv; l++ {
+			if l == j {
+				copy(out.Coeffs[l][:n], a.Coeffs[j][:n])
+				continue
+			}
+			ml := r.Moduli[l]
+			negAdd := 2*ml.Q - ml.ReduceBarrett(md.Q)
+			ro := out.Coeffs[l][:n]
+			for i, x := range src {
+				neg := uint64(int64(half-x) >> 63) // all ones iff x > half
+				ro[i] = ml.ReduceBarrett(x) + (neg & negAdd)
+			}
+		}
+	}
+	r.PutPoly(cf)
+	// Forward-transform only the cross-limb rows, pairing rows that share
+	// a limb (and hence a twiddle table) under one sweep.
+	for l := 0; l < lv; l++ {
+		var pend []uint64
+		for j := 0; j < nl; j++ {
+			if j == l {
+				continue
+			}
+			row := dec.Digits[j].Coeffs[l]
+			if pend == nil {
+				pend = row
+				continue
+			}
+			r.Tables[l].ForwardBatch(pend, row)
+			pend = nil
+		}
+		if pend != nil {
+			r.Tables[l].ForwardLazy(pend)
+		}
+	}
+	for j := 0; j < nl; j++ {
+		dec.Digits[j].IsNTT = true
+	}
+}
+
+// KeySwitchAccumulateNTT is the NTT-resident completion of a key switch
+// with the ModDown deferred: it accumulates the b-part products straight
+// into the caller's full-basis NTT accumulator (btAcc += Σ_j dec_j ∘ B_j)
+// and overwrites c1 with the a-part sum (c1 = Σ_j dec_j ∘ A_j). Nothing is
+// inverted or rescaled here — the caller owns the c1 ModDown (see
+// ring.ModDownNTTAddInto) and flushes btAcc's division once per tree.
+// btAcc and c1 must be full-basis NTT-domain polynomials.
+func (p Params) KeySwitchAccumulateNTT(btAcc, c1 *ring.Poly, dec *Decomposition, swk *SwitchingKey) {
+	r := p.R
+	shoup := swk.BsShoup != nil
+	if p.NormalLevels == 2 && shoup {
+		// The two-digit CHAM basis runs fused: each accumulator row is
+		// written once per sweep instead of once per digit.
+		d0, d1 := dec.Digits[0], dec.Digits[1]
+		r.MulCoeffShoupPairAdd(btAcc, d0, swk.Bs[0], swk.BsShoup[0], d1, swk.Bs[1], swk.BsShoup[1])
+		r.MulCoeffShoupPair(c1, d0, swk.As[0], swk.AsShoup[0], d1, swk.As[1], swk.AsShoup[1])
+		return
+	}
+	for j := 0; j < p.NormalLevels; j++ {
+		d := dec.Digits[j]
+		switch {
+		case j == 0 && shoup:
+			r.MulCoeffShoupAdd(btAcc, d, swk.Bs[0], swk.BsShoup[0])
+			r.MulCoeffShoup(c1, d, swk.As[0], swk.AsShoup[0])
+		case shoup:
+			r.MulCoeffShoupAdd(btAcc, d, swk.Bs[j], swk.BsShoup[j])
+			r.MulCoeffShoupAdd(c1, d, swk.As[j], swk.AsShoup[j])
+		case j == 0:
+			r.MulCoeffAdd(btAcc, d, swk.Bs[0])
+			r.MulCoeff(c1, d, swk.As[0])
+		default:
+			r.MulCoeffAdd(btAcc, d, swk.Bs[j])
+			r.MulCoeffAdd(c1, d, swk.As[j])
+		}
+	}
+}
+
 // KeySwitchHoistedInto completes a key switch from a prepared digit
 // decomposition: (outB, outA) receive the normal-basis coefficient-domain
 // switched a-part contribution ModDown(INTT(Σ_j dec_j ∘ K_j)); the caller

@@ -124,6 +124,87 @@ func TestKeySwitchIntoMatchesHoisted(t *testing.T) {
 	}
 }
 
+// TestDecomposeNTTMatchesDecompose: feeding the same polynomial through
+// DecomposeNTTInto (NTT-domain input, identity rows copied, only cross
+// rows transformed) must yield bit-identical digits to DecomposeInto on
+// the coefficient form.
+func TestDecomposeNTTMatchesDecompose(t *testing.T) {
+	for _, n := range []int{32, 256} {
+		p := hoistedParams(t, n)
+		r := p.R
+		rng := testutil.NewRand(t)
+		a := r.NewPoly(p.NormalLevels)
+		r.UniformPoly(rng, a)
+
+		want := p.GetDecomposition()
+		p.DecomposeInto(want, a)
+
+		aN := a.Copy()
+		r.NTT(aN)
+		got := p.GetDecomposition()
+		p.DecomposeNTTInto(got, aN)
+
+		for j := 0; j < p.NormalLevels; j++ {
+			if !got.Digits[j].Equal(want.Digits[j]) {
+				t.Fatalf("N=%d digit %d: DecomposeNTTInto != DecomposeInto", n, j)
+			}
+		}
+		p.PutDecomposition(want)
+		p.PutDecomposition(got)
+	}
+}
+
+// TestKeySwitchAccumulateMatchesHoisted: the deferred NTT-resident
+// completion (KeySwitchAccumulateNTT + ring.ModDownNTTInto chain on both
+// parts) must reproduce KeySwitchHoistedInto bit for bit once flushed.
+func TestKeySwitchAccumulateMatchesHoisted(t *testing.T) {
+	p := hoistedParams(t, 256)
+	r := p.R
+	rng := testutil.NewRand(t)
+	sk := p.KeyGen(rng)
+	swk := p.AutomorphismKeyGen(rng, sk, 5)
+
+	a := r.NewPoly(p.NormalLevels)
+	r.UniformPoly(rng, a)
+
+	wantB := r.NewPoly(p.NormalLevels)
+	wantA := r.NewPoly(p.NormalLevels)
+	dec := p.GetDecomposition()
+	p.DecomposeInto(dec, a)
+	p.KeySwitchHoistedInto(wantB, wantA, dec, swk)
+	r.NTT(wantB)
+	r.NTT(wantA)
+	p.PutDecomposition(dec)
+
+	full := r.Levels()
+	aN := a.Copy()
+	r.NTT(aN)
+	btAcc := r.NewPoly(full)
+	btAcc.Zero()
+	btAcc.IsNTT = true
+	c1 := r.NewPoly(full)
+	c1.IsNTT = true
+	dec = p.GetDecomposition()
+	p.DecomposeNTTInto(dec, aN)
+	p.KeySwitchAccumulateNTT(btAcc, c1, dec, swk)
+	p.PutDecomposition(dec)
+
+	gotB := r.NewPoly(p.NormalLevels)
+	gotA := r.NewPoly(p.NormalLevels)
+	for _, pair := range []struct{ out, in *ring.Poly }{{gotB, btAcc}, {gotA, c1}} {
+		cur := pair.in
+		for cur.Levels() > p.NormalLevels+1 {
+			next := r.NewPoly(cur.Levels() - 1)
+			r.ModDownNTTInto(next, cur)
+			cur = next
+		}
+		r.ModDownNTTInto(pair.out, cur)
+	}
+	if !gotB.Equal(wantB) || !gotA.Equal(wantA) {
+		t.Fatal("deferred NTT-resident key switch diverges from KeySwitchHoistedInto")
+	}
+}
+
 // FuzzDecomposeHoisted drives the branch-free lazy digit-decomposition
 // sweep against a naive branchy centred lift followed by the strict
 // forward transform: identical digits for arbitrary inputs.
