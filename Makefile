@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-diff tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke
+.PHONY: check vet build test race bench bench-diff tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke cluster-smoke
 
 # Tier-1 gate: everything a PR must keep green.
 check: vet build race
@@ -23,13 +23,16 @@ race:
 # path depends on, the telemetry layer under the race detector, and the
 # warm-path performance diff against the committed baseline.
 # Benchmarks only run on a tree that has passed it.
-tier2: race fuzz vet-strict obs-race serve-smoke bench-diff
+tier2: race fuzz vet-strict obs-race serve-smoke cluster-smoke bench-diff
 
 # Warm-path regression gate: re-measure the chambench shapes and fail if
 # any Prepared/warm or Pack/warm ns/op regresses >10% over the committed
-# BENCH_hmvp.json or the warm path allocates.
+# BENCH_hmvp.json or the warm path allocates, then re-measure the sharded
+# tier and fail if the 2-shard aggregate speedup drops below the 1.6x
+# floor or regresses >25% against the committed cluster section.
 bench-diff:
 	$(GO) run ./cmd/chambench -compare BENCH_hmvp.json
+	$(GO) run ./cmd/chambench -cluster -compare BENCH_hmvp.json
 
 obs-race:
 	$(GO) vet ./internal/obs
@@ -48,6 +51,8 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHMVPDifferential$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireClusterDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzShardRouter$$' -fuzztime $(FUZZTIME)
 
 # End-to-end check of the live telemetry endpoint: boot chamsim with
 # -metrics, scrape it, and require the stage-latency family.
@@ -72,6 +77,14 @@ serve-smoke:
 	$(GO) run ./examples/serve
 	$(GO) build -o /tmp/chamserve-smoke ./cmd/chamserve
 	$(GO) build -o /tmp/chambench-smoke ./cmd/chambench
+
+# End-to-end check of the sharded tier: the loopback cluster example
+# scatters a 4-tile matrix across two shard nodes through the gateway,
+# verifies every gathered product against the cleartext, and drains the
+# whole tier; the cluster binary is built (not run).
+cluster-smoke:
+	$(GO) run ./examples/cluster
+	$(GO) build -o /tmp/chamcluster-smoke ./cmd/chamcluster
 
 # Hot-path benchmarks + the machine-readable BENCH_hmvp.json report.
 bench: tier2 metrics-smoke

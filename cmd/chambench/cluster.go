@@ -1,0 +1,410 @@
+package main
+
+// Cluster mode: measure the sharded serving tier. In-process shard
+// fleets of 1, 2 and 4 chamserve nodes run behind a coordinator, each
+// node fronting a simulated card in the descriptor-aware latency model
+// (job time = base + per-row × rows), so a shard serving half the tiles
+// finishes its card job in half the time — the same reason a real
+// multi-card deployment scales. Aggregate rows/s per fleet size and the
+// latency distribution under 1000 simulated clients land in the
+// `cluster` section of BENCH_hmvp.json, and the run itself gates on the
+// 2-shard fleet clearing 1.6x over 1 shard.
+//
+// Every fleet's first gathered result is checked bit-identical to the
+// in-process evaluator before anything is timed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"cham/internal/bfv"
+	"cham/internal/cluster"
+	"cham/internal/core"
+	"cham/internal/lwe"
+	"cham/internal/rlwe"
+	rt "cham/internal/runtime"
+	"cham/internal/server"
+)
+
+// Cluster benchmark shape: a 2048×32 matrix at ring degree 32 spans 64
+// row tiles, enough for the ring to spread load evenly over 4 shards,
+// while the tiny degree keeps the software share of each apply small
+// against the simulated card time the scaling story is about.
+const (
+	clusterRingN = 32
+	clusterRows  = 2048
+	clusterCols  = 32
+
+	// Scaling fleets: 500µs per row makes the full-matrix card job ~1s, so
+	// fleet wall-clock is card-dominated and halves as tiles split.
+	clusterPerRow = 500 * time.Microsecond
+	// Latency fleet: a lighter card (51ms full-matrix job) keeps the
+	// 1000-client closed-loop run in seconds while still queueing.
+	clusterP99PerRow = 25 * time.Microsecond
+
+	// clusterSpeedupFloor is the acceptance gate: 2 shards must clear this
+	// aggregate-throughput multiple over 1 shard.
+	clusterSpeedupFloor = 1.6
+)
+
+// clusterFleet is one fleet size's measurement.
+type clusterFleet struct {
+	Shards       int     `json:"shards"`
+	Applies      int     `json:"applies"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	AppliesPerSec float64 `json:"applies_per_sec"`
+}
+
+// clusterP99 is the simulated-client latency section.
+type clusterP99 struct {
+	Shards     int     `json:"shards"`
+	Clients    int     `json:"clients"`
+	P50Millis  float64 `json:"p50_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// clusterResult is the `cluster` section of BENCH_hmvp.json.
+type clusterResult struct {
+	RingDegree    int            `json:"ring_degree"`
+	Rows          int            `json:"rows"`
+	Cols          int            `json:"cols"`
+	Fleets        []clusterFleet `json:"fleets"`
+	Speedup2Shard float64        `json:"speedup_2shard"`
+	Speedup4Shard float64        `json:"speedup_4shard"`
+	P99           clusterP99     `json:"p99"`
+}
+
+// clusterHarness holds the shared cleartext/ciphertext fixtures.
+type clusterHarness struct {
+	p    bfv.Params
+	keys *lwe.PackingKeys
+	A    [][]uint64
+	ctV  []*rlwe.Ciphertext
+	want *core.Result
+}
+
+func newClusterHarness() (*clusterHarness, error) {
+	p, err := bfv.NewChamParams(clusterRingN)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(99))
+	sk := p.KeyGen(rng)
+	keys, err := lwe.GenPackingKeys(p, rng, sk, p.R.N)
+	if err != nil {
+		return nil, err
+	}
+	A := make([][]uint64, clusterRows)
+	for i := range A {
+		A[i] = make([]uint64, clusterCols)
+		for j := range A[i] {
+			A[i][j] = rng.Uint64() % p.T.Q
+		}
+	}
+	v := make([]uint64, clusterCols)
+	for j := range v {
+		v[j] = rng.Uint64() % p.T.Q
+	}
+	ctV := core.EncryptVector(p, rng, sk, v)
+
+	// Single-node ground truth for the per-fleet bit-identity gate.
+	ev, err := core.NewEvaluatorFromKeys(p, keys)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := ev.Prepare(A)
+	if err != nil {
+		return nil, err
+	}
+	want, err := pm.Apply(ctV)
+	if err != nil {
+		return nil, err
+	}
+	return &clusterHarness{p: p, keys: keys, A: A, ctV: ctV, want: want}, nil
+}
+
+// startFleet boots `shards` lazy-tile nodes with descriptor-aware cards
+// plus a coordinator, installs keys, registers the matrix, and verifies
+// one gathered apply bit-for-bit before returning.
+func (h *clusterHarness) startFleet(shards int, perRow time.Duration, maxBatch int) (*cluster.Coordinator, [32]byte, func(), error) {
+	var closers []func()
+	shutdown := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		dev := rt.NewDevice(2, time.Millisecond, rt.FaultPlan{})
+		dev.SetRowLatency(time.Millisecond, perRow)
+		card, err := rt.New(dev)
+		if err != nil {
+			shutdown()
+			return nil, [32]byte{}, nil, err
+		}
+		card.JobTimeout = 30 * time.Second
+		s, err := server.New(server.Config{
+			Params:          h.p,
+			LazyTiles:       true,
+			Card:            card,
+			MaxBatch:        maxBatch,
+			Workers:         4,
+			QueueDepth:      4096,
+			DefaultDeadline: 120 * time.Second,
+		})
+		if err != nil {
+			shutdown()
+			return nil, [32]byte{}, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return nil, [32]byte{}, nil, err
+		}
+		go s.Serve(ln)
+		addrs[i] = ln.Addr().String()
+		closers = append(closers, func() { ln.Close() })
+	}
+	co, err := cluster.New(cluster.Config{
+		Params: h.p,
+		Nodes:  addrs,
+		// The hedging policy is for production stragglers; a benchmark
+		// fleet's card waits are the workload, so keep hedges out of it.
+		HedgeDelay:     time.Minute,
+		RequestTimeout: 120 * time.Second,
+	})
+	if err != nil {
+		shutdown()
+		return nil, [32]byte{}, nil, err
+	}
+	closers = append(closers, co.Close)
+	if _, err := co.SetupKeys(h.keys); err != nil {
+		shutdown()
+		return nil, [32]byte{}, nil, err
+	}
+	handle, err := co.RegisterMatrix(h.A)
+	if err != nil {
+		shutdown()
+		return nil, [32]byte{}, nil, err
+	}
+	got, err := co.Apply(handle.ID, h.ctV)
+	if err != nil {
+		shutdown()
+		return nil, [32]byte{}, nil, err
+	}
+	if len(got.Packed) != len(h.want.Packed) {
+		shutdown()
+		return nil, [32]byte{}, nil, fmt.Errorf("%d-shard fleet gathered %d tiles, want %d", shards, len(got.Packed), len(h.want.Packed))
+	}
+	for ti := range got.Packed {
+		if !sameCT(got.Packed[ti], h.want.Packed[ti]) {
+			shutdown()
+			return nil, [32]byte{}, nil, fmt.Errorf("%d-shard fleet: tile %d not bit-identical to single-node apply", shards, ti)
+		}
+	}
+	return co, handle.ID, shutdown, nil
+}
+
+func sameCT(a, b *rlwe.Ciphertext) bool {
+	for l := 0; l < a.B.Levels(); l++ {
+		for i := range a.B.Coeffs[l] {
+			if a.B.Coeffs[l][i] != b.B.Coeffs[l][i] {
+				return false
+			}
+		}
+	}
+	for l := 0; l < a.A.Levels(); l++ {
+		for i := range a.A.Coeffs[l] {
+			if a.A.Coeffs[l][i] != b.A.Coeffs[l][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// volley drives `clients` closed-loop goroutines, `perClient` applies
+// each, and returns the per-request latencies plus the makespan.
+func volley(co *cluster.Coordinator, id [32]byte, ctV []*rlwe.Ciphertext, clients, perClient int) ([]time.Duration, time.Duration, error) {
+	lat := make([]time.Duration, clients*perClient)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				r0 := time.Now()
+				if _, err := co.Apply(id, ctV); err != nil {
+					errs <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				lat[c*perClient+i] = time.Since(r0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	makespan := time.Since(t0)
+	close(errs)
+	for err := range errs {
+		return nil, 0, err
+	}
+	return lat, makespan, nil
+}
+
+func percentile(lat []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// runCluster measures the fleets and returns the report section.
+func runCluster() (*clusterResult, error) {
+	h, err := newClusterHarness()
+	if err != nil {
+		return nil, err
+	}
+	res := &clusterResult{RingDegree: clusterRingN, Rows: clusterRows, Cols: clusterCols}
+
+	const clients, perClient = 8, 1
+	perShard := map[int]float64{}
+	for _, shards := range []int{1, 2, 4} {
+		// Coalescing is deliberately off in the scaling fleets: a batch's
+		// card job costs the same as one request (job time follows the max
+		// descriptor, not the sum), so coalescing luck would swamp the
+		// sharding signal this phase isolates. MaxBatch=1 makes card time
+		// scale purely with per-shard rows — deterministic run to run.
+		co, id, stop, err := h.startFleet(shards, clusterPerRow, 1)
+		if err != nil {
+			return nil, err
+		}
+		_, makespan, err := volley(co, id, h.ctV, clients, perClient)
+		stop()
+		if err != nil {
+			return nil, err
+		}
+		applies := clients * perClient
+		f := clusterFleet{
+			Shards:        shards,
+			Applies:       applies,
+			RowsPerSec:    float64(applies*clusterRows) / makespan.Seconds(),
+			AppliesPerSec: float64(applies) / makespan.Seconds(),
+		}
+		perShard[shards] = f.RowsPerSec
+		res.Fleets = append(res.Fleets, f)
+		fmt.Printf("cluster %d shard(s):   %12.0f rows/s  (%d applies in %v)\n",
+			shards, f.RowsPerSec, applies, makespan.Round(time.Millisecond))
+	}
+	res.Speedup2Shard = perShard[2] / perShard[1]
+	res.Speedup4Shard = perShard[4] / perShard[1]
+	fmt.Printf("aggregate speedup:     %.2fx at 2 shards, %.2fx at 4 shards\n",
+		res.Speedup2Shard, res.Speedup4Shard)
+
+	// Latency under 1000 simulated clients against the 2-shard fleet.
+	const simClients = 1000
+	// The latency fleet keeps request coalescing on — under a 1000-client
+	// pile-up batching is the serving tier's real behavior, and the
+	// distribution under saturation is the number being reported.
+	co, id, stop, err := h.startFleet(2, clusterP99PerRow, 16)
+	if err != nil {
+		return nil, err
+	}
+	lat, makespan, err := volley(co, id, h.ctV, simClients, 1)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+	res.P99 = clusterP99{
+		Shards:     2,
+		Clients:    simClients,
+		P50Millis:  float64(percentile(lat, 0.50)) / float64(time.Millisecond),
+		P99Millis:  float64(percentile(lat, 0.99)) / float64(time.Millisecond),
+		RowsPerSec: float64(simClients*clusterRows) / makespan.Seconds(),
+	}
+	fmt.Printf("1000-client 2-shard:   p50 %.0f ms, p99 %.0f ms, %12.0f rows/s\n",
+		res.P99.P50Millis, res.P99.P99Millis, res.P99.RowsPerSec)
+
+	if res.Speedup2Shard < clusterSpeedupFloor {
+		return nil, fmt.Errorf("2-shard aggregate speedup %.2fx below the %.2fx floor",
+			res.Speedup2Shard, clusterSpeedupFloor)
+	}
+	return res, nil
+}
+
+// mergeClusterReport writes the cluster section into the report at path,
+// preserving every other section a regular chambench run put there; a
+// missing file starts a fresh report.
+func mergeClusterReport(path string, cr *clusterResult) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("parsing existing report %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	section, err := json.Marshal(cr)
+	if err != nil {
+		return err
+	}
+	doc["cluster"] = section
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote cluster section into %s\n", path)
+	return nil
+}
+
+// readClusterBaseline pulls the cluster section out of a committed
+// report; a baseline without one is not an error (first run).
+func readClusterBaseline(path string) (*clusterResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base struct {
+		Cluster *clusterResult `json:"cluster"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return base.Cluster, nil
+}
+
+// maxClusterRegression allows the 2-shard speedup to drift 25% under the
+// committed baseline before bench-diff fails — wall-clock fleet runs
+// jitter more than the single-process warm loops, and the absolute
+// clusterSpeedupFloor inside runCluster always applies regardless.
+const maxClusterRegression = 1.25
+
+// compareCluster gates the cluster rows against a committed baseline: the
+// floor always applies (enforced in runCluster), and the 2-shard speedup
+// must stay within 25% of the baseline's when one is recorded.
+func compareCluster(baseline *clusterResult, cur *clusterResult) error {
+	if baseline == nil {
+		fmt.Println("cluster bench-diff: baseline has no cluster section; floor check only")
+		return nil
+	}
+	allowed := baseline.Speedup2Shard / maxClusterRegression
+	fmt.Printf("cluster bench-diff: 2-shard speedup %.2fx (baseline %.2fx, floor %.2fx)\n",
+		cur.Speedup2Shard, baseline.Speedup2Shard, allowed)
+	if cur.Speedup2Shard < allowed {
+		return fmt.Errorf("2-shard speedup %.2fx regressed >25%% from baseline %.2fx",
+			cur.Speedup2Shard, baseline.Speedup2Shard)
+	}
+	return nil
+}

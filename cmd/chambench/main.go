@@ -42,6 +42,8 @@ type report struct {
 	Speedups   map[string]float64 `json:"prepared_apply_speedup,omitempty"`
 	// Remote holds the serving-tier numbers when -remote is set.
 	Remote *remoteResult `json:"remote,omitempty"`
+	// Cluster holds the sharded-tier numbers when -cluster is set.
+	Cluster *clusterResult `json:"cluster,omitempty"`
 	// Telemetry is the obs registry snapshot from one instrumented apply
 	// per shape, run after the timed benchmarks (which execute with
 	// telemetry off so the numbers stay undisturbed).
@@ -171,10 +173,38 @@ func main() {
 	out := flag.String("o", "BENCH_hmvp.json", "output path for the JSON report")
 	compare := flag.String("compare", "", "baseline report to diff against: re-run the shapes, exit nonzero if warm ns_per_op regresses >10% or warm allocs_per_op leaves 0; writes no report")
 	workers := flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
+	clusterMode := flag.Bool("cluster", false, "benchmark the sharded tier instead: in-process fleets of 1/2/4 shard nodes, aggregate rows/s, and p99 under 1000 simulated clients; fails if 2 shards clear <1.6x over 1")
 	remote := flag.String("remote", "", `benchmark the serving tier instead: "self" spins up loopback servers in-process, host:port targets a running chamserve`)
 	remoteN := flag.Int("remote-n", 256, "ring degree for -remote mode (must match an external server)")
 	clients := flag.Int("clients", 64, "concurrent clients for the -remote throughput measurement")
 	flag.Parse()
+
+	if *clusterMode {
+		cr, err := runCluster()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chambench:", err)
+			os.Exit(1)
+		}
+		if *compare != "" {
+			base, err := readClusterBaseline(*compare)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chambench:", err)
+				os.Exit(1)
+			}
+			if err := compareCluster(base, cr); err != nil {
+				fmt.Fprintln(os.Stderr, "chambench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		// Merge into the existing report rather than clobbering the warm-path
+		// benchmark rows the regular run committed there.
+		if err := mergeClusterReport(*out, cr); err != nil {
+			fmt.Fprintln(os.Stderr, "chambench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *remote != "" {
 		rr, err := runRemote(*remote, *remoteN, *clients)

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cham/internal/testutil"
+)
+
+// TestBackoffEqualJitterBounds: for every attempt i the delay must lie in
+// [d/2, d) with d = min(Backoff<<i, MaxBackoff) — the equal-jitter
+// contract. Regression test for the jitter source: it used to be shared
+// and unseeded, so the schedule was neither isolated nor reproducible.
+func TestBackoffEqualJitterBounds(t *testing.T) {
+	cfg, err := Config{
+		Addr:       "127.0.0.1:1",
+		Params:     testParams(t, 32),
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &Client{cfg: cfg}
+	for i := 0; i < 12; i++ {
+		d := cfg.Backoff << uint(i)
+		if d > cfg.MaxBackoff || d <= 0 {
+			d = cfg.MaxBackoff
+		}
+		for trial := 0; trial < 64; trial++ {
+			got := cl.backoff(i)
+			if got < d/2 || got >= d {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", i, got, d/2, d)
+			}
+		}
+	}
+
+	// The jitter endpoints map onto the interval bounds exactly.
+	cl.cfg.Jitter = func() float64 { return 0 }
+	if got := cl.backoff(0); got != cfg.Backoff/2 {
+		t.Errorf("zero jitter: backoff %v, want %v", got, cfg.Backoff/2)
+	}
+	cl.cfg.Jitter = func() float64 { return 0.999999 }
+	if got := cl.backoff(3); got >= cfg.MaxBackoff {
+		t.Errorf("max jitter: backoff %v reached the open bound %v", got, cfg.MaxBackoff)
+	}
+}
+
+// TestJitterDeterministicUnderSeed: with CHAM_TEST_SEED set, every client
+// draws the identical jitter sequence, so retry schedules reproduce; and
+// distinct clients without the seed env draw distinct sequences (the old
+// bug shared one source process-wide).
+func TestJitterDeterministicUnderSeed(t *testing.T) {
+	t.Setenv(seedEnv, "12345")
+	a, b := defaultJitter(), defaultJitter()
+	for i := 0; i < 100; i++ {
+		va, vb := a(), b()
+		if va != vb {
+			t.Fatalf("draw %d: %v != %v under %s", i, va, vb, seedEnv)
+		}
+		if va < 0 || va >= 1 {
+			t.Fatalf("draw %d: %v outside [0,1)", i, va)
+		}
+	}
+
+	t.Setenv(seedEnv, "")
+	c, d := defaultJitter(), defaultJitter()
+	same := 0
+	for i := 0; i < 32; i++ {
+		if c() == d() {
+			same++
+		}
+	}
+	if same == 32 {
+		t.Error("unseeded clients drew identical jitter sequences")
+	}
+}
+
+// TestHedgedFirstSuccessWins: a healthy primary answers before the hedge
+// delay, so exactly one attempt launches.
+func TestHedgedFirstSuccessWins(t *testing.T) {
+	v, winner, launched, err := Hedged(3, time.Hour, func(i int) (int, error) {
+		return 40 + i, nil
+	})
+	if err != nil || v != 40 || winner != 0 || launched != 1 {
+		t.Fatalf("got (%d, %d, %d, %v), want (40, 0, 1, nil)", v, winner, launched, err)
+	}
+}
+
+// TestHedgedFailoverOnError: a hard failure hedges immediately without
+// waiting out the delay.
+func TestHedgedFailoverOnError(t *testing.T) {
+	start := time.Now()
+	v, winner, launched, err := Hedged(3, time.Hour, func(i int) (string, error) {
+		if i < 2 {
+			return "", fmt.Errorf("replica %d down", i)
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" || winner != 2 || launched != 3 {
+		t.Fatalf("got (%q, %d, %d, %v), want (ok, 2, 3, nil)", v, winner, launched, err)
+	}
+	if time.Since(start) > time.Minute {
+		t.Fatal("failure hedging waited for the delay")
+	}
+}
+
+// TestHedgedStraggler: a hung primary is raced by the hedge after the
+// delay, and the hedge's answer wins while the straggler is abandoned.
+func TestHedgedStraggler(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	v, winner, launched, err := Hedged(2, time.Millisecond, func(i int) (int, error) {
+		if i == 0 {
+			<-release // straggler: never answers during the test
+			return 0, nil
+		}
+		return 7, nil
+	})
+	if err != nil || v != 7 || winner != 1 || launched != 2 {
+		t.Fatalf("got (%d, %d, %d, %v), want (7, 1, 2, nil)", v, winner, launched, err)
+	}
+}
+
+// TestHedgedAllFail: when every attempt fails the last error surfaces and
+// the launch count covers all n.
+func TestHedgedAllFail(t *testing.T) {
+	boom := errors.New("boom")
+	_, winner, launched, err := Hedged(3, time.Millisecond, func(i int) (int, error) {
+		return 0, fmt.Errorf("attempt %d: %w", i, boom)
+	})
+	if !errors.Is(err, boom) || winner != -1 || launched != 3 {
+		t.Fatalf("got (%d, %d, %v), want (-1, 3, wrapping boom)", winner, launched, err)
+	}
+	if _, _, _, err := Hedged(0, 0, func(int) (int, error) { return 0, nil }); !errors.Is(err, ErrNoAttempts) {
+		t.Fatalf("n=0: got %v, want ErrNoAttempts", err)
+	}
+}
+
+// TestBackoffSeedReproducesSchedule ties the pieces together: two clients
+// built under the same CHAM_TEST_SEED produce the same backoff schedule.
+func TestBackoffSeedReproducesSchedule(t *testing.T) {
+	t.Setenv(seedEnv, "987")
+	mk := func() []time.Duration {
+		cfg, err := Config{Addr: "127.0.0.1:1", Params: testParams(t, 32)}.withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := &Client{cfg: cfg}
+		var sched []time.Duration
+		for i := 0; i < 8; i++ {
+			sched = append(sched, cl.backoff(i))
+		}
+		return sched
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v != %v under %s", i, a[i], b[i], seedEnv)
+		}
+	}
+	if seedEnv != testutil.SeedEnv {
+		t.Fatalf("client seedEnv %q out of sync with testutil.SeedEnv %q", seedEnv, testutil.SeedEnv)
+	}
+}

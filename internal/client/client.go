@@ -12,7 +12,10 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cham/internal/bfv"
@@ -87,15 +90,43 @@ func (c Config) withDefaults() (Config, error) {
 		c.Sleep = time.Sleep
 	}
 	if c.Jitter == nil {
-		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-		var mu sync.Mutex
-		c.Jitter = func() float64 {
-			mu.Lock()
-			defer mu.Unlock()
-			return rng.Float64()
-		}
+		c.Jitter = defaultJitter()
 	}
 	return c, nil
+}
+
+// seedEnv mirrors internal/testutil.SeedEnv without importing the testing
+// package into production binaries.
+const seedEnv = "CHAM_TEST_SEED"
+
+// jitterClients distinguishes the fallback seeds of clients created in the
+// same nanosecond.
+var jitterClients atomic.Uint64
+
+// defaultJitter builds the default jitter source: a per-client seeded PRNG
+// behind a mutex (rand.Rand is not concurrency-safe and do() may run from
+// many goroutines). Under CHAM_TEST_SEED every client draws the identical
+// sequence, so retry schedules in tests are reproducible; otherwise each
+// client gets its own stream rather than a process-shared source, keeping
+// concurrent clients' backoff decorrelated.
+func defaultJitter() func() float64 {
+	var seed int64
+	seeded := false
+	if v := os.Getenv(seedEnv); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			seed, seeded = s, true
+		}
+	}
+	if !seeded {
+		seed = time.Now().UnixNano() ^ int64(jitterClients.Add(1)<<32)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64()
+	}
 }
 
 // poolConn is one handshaken connection; at most one request in flight.

@@ -1,0 +1,71 @@
+package client
+
+// Hedged requests: the straggler defence of the cluster tier. A scatter
+// leg races up to n attempts at different replicas — the next attempt
+// launches when the previous one fails outright or when the hedge delay
+// expires with no answer, and the first success wins. Because HMVP applies
+// are pure compute with no server-side effects, duplicate execution is
+// always safe; hedging trades a bounded amount of redundant work for a
+// tight tail (The Tail at Scale's classic trade).
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrNoAttempts is returned by Hedged when n < 1.
+var ErrNoAttempts = errors.New("client: hedged call with no attempts")
+
+type hedgeOutcome[T any] struct {
+	idx int
+	val T
+	err error
+}
+
+// Hedged runs try(0..n-1) with staggered starts: attempt i+1 launches as
+// soon as attempt i fails, or after delay with attempt i still pending.
+// The first success wins; its value, the winning attempt index, and the
+// number of attempts actually launched come back. When every launched
+// attempt fails the last error is returned. Losing in-flight attempts are
+// abandoned, not cancelled — try must bound its own run time (the client's
+// RequestTimeout does this for wire calls).
+func Hedged[T any](n int, delay time.Duration, try func(i int) (T, error)) (T, int, int, error) {
+	var zero T
+	if n < 1 {
+		return zero, -1, 0, ErrNoAttempts
+	}
+	ch := make(chan hedgeOutcome[T], n)
+	launched := 0
+	launch := func() {
+		i := launched
+		launched++
+		go func() {
+			v, err := try(i)
+			ch <- hedgeOutcome[T]{i, v, err}
+		}()
+	}
+	launch()
+	var lastErr error
+	for done := 0; done < launched; {
+		var expired <-chan time.Time
+		if launched < n {
+			t := time.NewTimer(delay)
+			expired = t.C
+			defer t.Stop()
+		}
+		select {
+		case out := <-ch:
+			done++
+			if out.err == nil {
+				return out.val, out.idx, launched, nil
+			}
+			lastErr = out.err
+			if launched < n {
+				launch() // a hard failure hedges immediately
+			}
+		case <-expired:
+			launch() // a straggler hedges after the delay
+		}
+	}
+	return zero, -1, launched, lastErr
+}

@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cham/internal/wire"
+)
+
+// DegradedError reports that a scatter could not cover every tile even
+// after hedged retries and a re-scatter pass over all reachable nodes:
+// the cluster has lost quorum for this matrix. Missing holds the
+// uncovered tile indices; Last is the final shard error observed.
+type DegradedError struct {
+	Missing []uint32
+	Nodes   int // cluster size at scatter time
+	Last    error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("cluster: degraded: %d tiles uncovered across %d nodes (last shard error: %v)",
+		len(e.Missing), e.Nodes, e.Last)
+}
+
+// Unwrap exposes the last shard error for errors.Is/As chains.
+func (e *DegradedError) Unwrap() error { return e.Last }
+
+// Wire converts the degraded state into the typed wire rejection the
+// gateway answers clients with. CodeDegraded is retryable: a client that
+// backs off and retries may land after a node returns.
+func (e *DegradedError) Wire() *wire.Error {
+	return wire.Errf(wire.CodeDegraded, "%d tiles uncovered across %d nodes", len(e.Missing), e.Nodes)
+}

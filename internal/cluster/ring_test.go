@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testRing(tb testing.TB, n, vnodes int) *Ring {
+	tb.Helper()
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node-%d:9000", i)
+	}
+	r, err := NewRing(nodes, vnodes)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+// checkPartition asserts the shard router's core invariant: Assign
+// splits tiles 0..tiles-1 across the nodes with no tile dropped, no tile
+// duplicated, and every per-node list strictly ascending.
+func checkPartition(tb testing.TB, r *Ring, id [32]byte, tiles int) {
+	tb.Helper()
+	asg := r.Assign(id, tiles)
+	if len(asg) != len(r.Nodes()) {
+		tb.Fatalf("assignment has %d node lists, ring has %d nodes", len(asg), len(r.Nodes()))
+	}
+	seen := make([]bool, tiles)
+	for ni, list := range asg {
+		for i, t := range list {
+			if i > 0 && list[i-1] >= t {
+				tb.Fatalf("node %d tile list not strictly ascending at %d: %v", ni, i, list)
+			}
+			if int(t) >= tiles {
+				tb.Fatalf("node %d assigned out-of-range tile %d (matrix has %d)", ni, t, tiles)
+			}
+			if seen[t] {
+				tb.Fatalf("tile %d assigned to more than one node", t)
+			}
+			seen[t] = true
+			if own := r.Owner(TileKey(id, t)); own != ni {
+				tb.Fatalf("tile %d assigned to node %d but owned by %d", t, ni, own)
+			}
+		}
+	}
+	for t, ok := range seen {
+		if !ok {
+			tb.Fatalf("tile %d dropped by the assignment", t)
+		}
+	}
+}
+
+func TestRingPartition(t *testing.T) {
+	id := TileKey([32]byte{1, 2, 3}, 7)
+	for _, nodes := range []int{1, 2, 3, 4, 7} {
+		for _, tiles := range []int{0, 1, 2, 8, 128, 1000} {
+			checkPartition(t, testRing(t, nodes, 0), id, tiles)
+		}
+	}
+}
+
+// TestRingDeterministic pins that two independently built rings compute
+// the same shard map — coordinators share placement with no coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, b := testRing(t, 4, 0), testRing(t, 4, 0)
+	id := TileKey([32]byte{9}, 0)
+	for tiles := 0; tiles < 64; tiles++ {
+		if a.Owner(TileKey(id, uint32(tiles))) != b.Owner(TileKey(id, uint32(tiles))) {
+			t.Fatalf("tile %d owner differs between identical rings", tiles)
+		}
+	}
+}
+
+// TestRingStability pins consistent hashing's point: adding a node moves
+// only a fraction of tiles, it does not reshuffle the map.
+func TestRingStability(t *testing.T) {
+	id := TileKey([32]byte{42}, 1)
+	const tiles = 1024
+	old := testRing(t, 4, 0)
+	grown, err := NewRing(append(append([]string(nil), old.Nodes()...), "node-joined:9000"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for ti := 0; ti < tiles; ti++ {
+		key := TileKey(id, uint32(ti))
+		was, now := old.Owner(key), grown.Owner(key)
+		if now == len(old.Nodes()) {
+			continue // moved to the joiner, as it must for its share
+		}
+		if was != now {
+			moved++
+		}
+	}
+	// Tiles not claimed by the joiner should essentially never change
+	// owner; allow a little slack for vnode boundary effects.
+	if moved > tiles/20 {
+		t.Fatalf("%d of %d tiles moved between surviving nodes; consistent hashing should move ~0", moved, tiles)
+	}
+}
+
+func TestReplicas(t *testing.T) {
+	r := testRing(t, 5, 0)
+	key := TileKey([32]byte{3}, 11)
+	for n := 1; n <= 7; n++ {
+		reps := r.Replicas(key, n)
+		want := n
+		if want > 5 {
+			want = 5
+		}
+		if len(reps) != want {
+			t.Fatalf("Replicas(%d) returned %d nodes, want %d", n, len(reps), want)
+		}
+		if reps[0] != r.Owner(key) {
+			t.Fatalf("Replicas[0] = %d, owner is %d", reps[0], r.Owner(key))
+		}
+		seen := map[int]bool{}
+		for _, ni := range reps {
+			if ni < 0 || ni >= 5 || seen[ni] {
+				t.Fatalf("replica list %v is not distinct in-range nodes", reps)
+			}
+			seen[ni] = true
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+}
+
+// FuzzShardRouter drives the partition invariant with arbitrary cluster
+// shapes and matrix identities: the router must never drop or duplicate
+// a tile, whatever the ring geometry.
+func FuzzShardRouter(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint16(1), []byte("m"))
+	f.Add(uint8(3), uint8(16), uint16(77), []byte("matrix-a"))
+	f.Add(uint8(8), uint8(64), uint16(512), []byte{0xff, 0x00, 0x11})
+	f.Fuzz(func(t *testing.T, nodes, vnodes uint8, tiles uint16, idSeed []byte) {
+		nn := int(nodes)%8 + 1
+		r := testRing(t, nn, int(vnodes)%64+1)
+		var id [32]byte
+		copy(id[:], idSeed)
+		nt := int(tiles) % 1500
+		checkPartition(t, r, id, nt)
+
+		// Replica lists stay distinct and owner-first for every tile.
+		for _, probe := range []uint32{0, uint32(nt / 2), uint32(nt)} {
+			key := TileKey(id, probe)
+			reps := r.Replicas(key, nn)
+			if len(reps) != nn {
+				t.Fatalf("Replicas covers %d of %d nodes", len(reps), nn)
+			}
+			if reps[0] != r.Owner(key) {
+				t.Fatalf("replica 0 is %d, owner is %d", reps[0], r.Owner(key))
+			}
+			seen := map[int]bool{}
+			for _, ni := range reps {
+				if seen[ni] {
+					t.Fatalf("replica list %v repeats node %d", reps, ni)
+				}
+				seen[ni] = true
+			}
+		}
+	})
+}

@@ -22,4 +22,9 @@ var (
 	ErrResultShape = errors.New("core: result shape mismatch")
 	// ErrTileTooLarge: a row tile needs packing keys beyond Keys.M.
 	ErrTileTooLarge = errors.New("core: tile exceeds packing keys")
+	// ErrTileIndex: a tile index outside [0, Tiles()).
+	ErrTileIndex = errors.New("core: tile index out of range")
+	// ErrTileNotPrepared: ApplyTiles/ApplyInto touched a tile that was
+	// skipped at PrepareTiles time and not filled in by PrepareTile since.
+	ErrTileNotPrepared = errors.New("core: tile not prepared")
 )

@@ -39,6 +39,8 @@ var errClasses = []struct {
 	{ErrVectorBasis, obs.GetCounter("cham_hmvp_errors_total", errHelp, "class", "vector_basis")},
 	{ErrResultShape, obs.GetCounter("cham_hmvp_errors_total", errHelp, "class", "result_shape")},
 	{ErrTileTooLarge, obs.GetCounter("cham_hmvp_errors_total", errHelp, "class", "tile_too_large")},
+	{ErrTileIndex, obs.GetCounter("cham_hmvp_errors_total", errHelp, "class", "tile_index")},
+	{ErrTileNotPrepared, obs.GetCounter("cham_hmvp_errors_total", errHelp, "class", "tile_not_prepared")},
 }
 
 var errOther = obs.GetCounter("cham_hmvp_errors_total", errHelp, "class", "other")

@@ -37,7 +37,13 @@ type preparedTile struct {
 }
 
 // PreparedMatrix is a cleartext matrix fixed in evaluation-ready form.
-// Build with Evaluator.Prepare, apply with Apply / ApplyInto.
+// Build with Evaluator.Prepare (all tiles) or Evaluator.PrepareTiles (a
+// subset — the sharded serving tier prepares only the tiles a node owns),
+// apply with Apply / ApplyInto / ApplyTiles. The tiles slice always spans
+// the full matrix; unprepared entries are nil until PrepareTile fills
+// them in. The struct is not internally synchronized: callers interleaving
+// PrepareTile with applies must order them (the server holds a per-matrix
+// lock across lazy preparation).
 type PreparedMatrix struct {
 	ev      *Evaluator
 	m, cols int
@@ -55,22 +61,64 @@ func (pm *PreparedMatrix) Cols() int { return pm.cols }
 // Chunks returns the number of vector ciphertexts an apply expects.
 func (pm *PreparedMatrix) Chunks() int { return pm.chunks }
 
-// Tiles returns the number of packed output ciphertexts per apply.
+// Tiles returns the total row-tile count — the number of packed output
+// ciphertexts a full apply produces, whether or not every tile is
+// currently prepared.
 func (pm *PreparedMatrix) Tiles() int { return len(pm.tiles) }
+
+// HasTile reports whether tile ti is prepared and ready to apply.
+func (pm *PreparedMatrix) HasTile(ti int) bool {
+	return ti >= 0 && ti < len(pm.tiles) && pm.tiles[ti] != nil
+}
+
+// TileRows returns the row count of tile ti (the last tile may be short),
+// or 0 for an out-of-range index.
+func (pm *PreparedMatrix) TileRows(ti int) int {
+	if ti < 0 || ti >= len(pm.tiles) {
+		return 0
+	}
+	_, rows, _ := pm.tileBounds(ti)
+	return rows
+}
+
+// tileBounds returns tile ti's first row, row count, and padded row count.
+func (pm *PreparedMatrix) tileBounds(ti int) (base, rows, mPad int) {
+	n := pm.ev.P.R.N
+	base = ti * n
+	rows = pm.m - base
+	if rows > n {
+		rows = n
+	}
+	return base, rows, nextPow2(rows)
+}
 
 // Prepare encodes, lifts, and forward-transforms all rows of A once
 // (the one-time stages 1–2 work of every future apply). The same shape
 // rules as MatVec apply.
 func (e *Evaluator) Prepare(A [][]uint64) (*PreparedMatrix, error) {
 	sp := obs.StartSpan(mPrepareSec)
-	pm, err := e.prepare(A)
+	pm, err := e.prepareTiles(A, nil)
 	if err == nil {
 		sp.End()
 	}
 	return pm, countErr(err)
 }
 
-func (e *Evaluator) prepare(A [][]uint64) (*PreparedMatrix, error) {
+// PrepareTiles is Prepare restricted to the listed row tiles — the shard
+// half of the cluster tier, where a node owning a subset of the ring only
+// pays for its own tiles. Tile indices may repeat or arrive unordered;
+// skipped tiles stay nil until PrepareTile fills them in. An empty
+// (non-nil) list prepares nothing but still validates the matrix.
+func (e *Evaluator) PrepareTiles(A [][]uint64, tiles []int) (*PreparedMatrix, error) {
+	sp := obs.StartSpan(mPrepareSec)
+	pm, err := e.prepareTiles(A, tiles)
+	if err == nil {
+		sp.End()
+	}
+	return pm, countErr(err)
+}
+
+func (e *Evaluator) prepareTiles(A [][]uint64, want []int) (*PreparedMatrix, error) {
 	p := e.P
 	n := p.R.N
 	m := len(A)
@@ -87,14 +135,14 @@ func (e *Evaluator) prepare(A [][]uint64) (*PreparedMatrix, error) {
 		}
 	}
 	chunks := (cols + n - 1) / n
-	pm := &PreparedMatrix{ev: e, m: m, cols: cols, chunks: chunks}
-	// Validate every tile before the expensive transforms start.
-	for base := 0; base < m; base += n {
-		rows := m - base
-		if rows > n {
-			rows = n
-		}
-		mPad := nextPow2(rows)
+	nt := (m + n - 1) / n
+	pm := &PreparedMatrix{ev: e, m: m, cols: cols, chunks: chunks, tiles: make([]*preparedTile, nt)}
+	// Validate every tile's geometry before the expensive transforms start,
+	// whether or not it is being prepared now: maxPad must cover any tile a
+	// later PrepareTile might add, and key coverage is a property of the
+	// matrix, not of the subset.
+	for ti := 0; ti < nt; ti++ {
+		_, _, mPad := pm.tileBounds(ti)
 		if mPad > e.Keys.M {
 			return nil, fmt.Errorf("%w: tile of %d rows (keys cover %d)", ErrTileTooLarge, mPad, e.Keys.M)
 		}
@@ -102,72 +150,125 @@ func (e *Evaluator) prepare(A [][]uint64) (*PreparedMatrix, error) {
 			pm.maxPad = mPad
 		}
 	}
-	full := p.R.Levels()
+	sel := want
+	if sel == nil {
+		sel = make([]int, nt)
+		for ti := range sel {
+			sel[ti] = ti
+		}
+	}
+	for _, ti := range sel {
+		if ti < 0 || ti >= nt {
+			return nil, fmt.Errorf("%w: tile %d of %d", ErrTileIndex, ti, nt)
+		}
+	}
 	var clk obs.StageClock
 	clk.Start()
-	// Encoding scratch is pooled; every long-lived buffer below is carved
-	// from a handful of per-tile slabs (one coefficient slab, one Shoup
-	// slab, and flat header arrays) instead of row×chunk×limb individual
-	// allocations — cold Prepare used to cost thousands of allocs per call.
 	rs := e.getRowScratch()
 	defer e.putRowScratch(rs)
-	for base := 0; base < m; base += n {
-		rows := m - base
-		if rows > n {
-			rows = n
+	for _, ti := range sel {
+		if pm.tiles[ti] == nil {
+			pm.tiles[ti] = e.buildTile(pm, A, ti, rs, &clk)
 		}
-		mPad := nextPow2(rows)
-		scale := p.InvPow2(log2(mPad))
-		t := &preparedTile{
-			rows:     rows,
-			mPad:     mPad,
-			rowNTT:   make([][]*ring.Poly, rows),
-			rowShoup: make([][][][]uint64, rows),
-		}
-		nPolys := rows * chunks
-		polys := make([]ring.Poly, nPolys)
-		polyPtrs := make([]*ring.Poly, nPolys)
-		shoupPtrs := make([][][]uint64, nPolys)
-		limbHdrs := make([][]uint64, 2*nPolys*full)
-		coeffSlab := make([]uint64, nPolys*full*n)
-		shoupSlab := make([]uint64, nPolys*full*n)
-		for k := 0; k < nPolys; k++ {
-			pc := limbHdrs[:full:full]
-			sh := limbHdrs[full : 2*full : 2*full]
-			limbHdrs = limbHdrs[2*full:]
-			for l := 0; l < full; l++ {
-				pc[l], coeffSlab = coeffSlab[:n:n], coeffSlab[n:]
-				sh[l], shoupSlab = shoupSlab[:n:n], shoupSlab[n:]
-			}
-			polys[k].Coeffs = pc
-			polyPtrs[k] = &polys[k]
-			shoupPtrs[k] = sh
-		}
-		for i := 0; i < rows; i++ {
-			rp := polyPtrs[i*chunks : (i+1)*chunks : (i+1)*chunks]
-			rsh := shoupPtrs[i*chunks : (i+1)*chunks : (i+1)*chunks]
-			for c := 0; c < chunks; c++ {
-				lo, hi := c*n, (c+1)*n
-				if hi > cols {
-					hi = cols
-				}
-				pt := rp[c]
-				p.EncodeRowInto(rs.pt, A[base+i][lo:hi], scale)
-				clk.Mark(obs.StageEncode)
-				p.LiftInto(pt, rs.pt)
-				clk.Mark(obs.StageLift)
-				p.R.NTT(pt)
-				clk.Mark(obs.StageNTT)
-				p.R.ShoupPrecompPolyInto(rsh[c], pt)
-				clk.Skip() // Shoup tables are bookkeeping, not a pipeline stage
-			}
-			t.rowNTT[i] = rp
-			t.rowShoup[i] = rsh
-		}
-		pm.tiles = append(pm.tiles, t)
 	}
 	clk.Flush()
 	return pm, nil
+}
+
+// PrepareTile fills in one tile of a sparsely prepared matrix from the
+// same cleartext A it was built from — the lazy half of shard failover,
+// where a node suddenly asked for a tile it does not own prepares it on
+// demand. Idempotent: an already-prepared tile is a no-op. Not safe to
+// race with applies; callers hold their per-matrix lock.
+func (pm *PreparedMatrix) PrepareTile(A [][]uint64, ti int) error {
+	e := pm.ev
+	if ti < 0 || ti >= len(pm.tiles) {
+		return countErr(fmt.Errorf("%w: tile %d of %d", ErrTileIndex, ti, len(pm.tiles)))
+	}
+	if pm.tiles[ti] != nil {
+		return nil
+	}
+	if len(A) != pm.m {
+		return countErr(fmt.Errorf("%w: matrix has %d rows but prepared shape is %dx%d",
+			ErrRaggedMatrix, len(A), pm.m, pm.cols))
+	}
+	base, rows, _ := pm.tileBounds(ti)
+	for i := base; i < base+rows; i++ {
+		if len(A[i]) != pm.cols {
+			return countErr(fmt.Errorf("%w: row %d has %d columns, want %d", ErrRaggedMatrix, i, len(A[i]), pm.cols))
+		}
+	}
+	sp := obs.StartSpan(mPrepareSec)
+	var clk obs.StageClock
+	clk.Start()
+	rs := e.getRowScratch()
+	pm.tiles[ti] = e.buildTile(pm, A, ti, rs, &clk)
+	e.putRowScratch(rs)
+	clk.Flush()
+	sp.End()
+	return nil
+}
+
+// buildTile runs stages 1–2 (encode, centred lift, forward NTT, Shoup
+// companions) for one row tile. Encoding scratch is pooled; every
+// long-lived buffer below is carved from a handful of per-tile slabs (one
+// coefficient slab, one Shoup slab, and flat header arrays) instead of
+// row×chunk×limb individual allocations — cold Prepare used to cost
+// thousands of allocs per call.
+func (e *Evaluator) buildTile(pm *PreparedMatrix, A [][]uint64, ti int, rs *rowScratch, clk *obs.StageClock) *preparedTile {
+	p := e.P
+	n := p.R.N
+	full := p.R.Levels()
+	chunks, cols := pm.chunks, pm.cols
+	base, rows, mPad := pm.tileBounds(ti)
+	scale := p.InvPow2(log2(mPad))
+	t := &preparedTile{
+		rows:     rows,
+		mPad:     mPad,
+		rowNTT:   make([][]*ring.Poly, rows),
+		rowShoup: make([][][][]uint64, rows),
+	}
+	nPolys := rows * chunks
+	polys := make([]ring.Poly, nPolys)
+	polyPtrs := make([]*ring.Poly, nPolys)
+	shoupPtrs := make([][][]uint64, nPolys)
+	limbHdrs := make([][]uint64, 2*nPolys*full)
+	coeffSlab := make([]uint64, nPolys*full*n)
+	shoupSlab := make([]uint64, nPolys*full*n)
+	for k := 0; k < nPolys; k++ {
+		pc := limbHdrs[:full:full]
+		sh := limbHdrs[full : 2*full : 2*full]
+		limbHdrs = limbHdrs[2*full:]
+		for l := 0; l < full; l++ {
+			pc[l], coeffSlab = coeffSlab[:n:n], coeffSlab[n:]
+			sh[l], shoupSlab = shoupSlab[:n:n], shoupSlab[n:]
+		}
+		polys[k].Coeffs = pc
+		polyPtrs[k] = &polys[k]
+		shoupPtrs[k] = sh
+	}
+	for i := 0; i < rows; i++ {
+		rp := polyPtrs[i*chunks : (i+1)*chunks : (i+1)*chunks]
+		rsh := shoupPtrs[i*chunks : (i+1)*chunks : (i+1)*chunks]
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*n, (c+1)*n
+			if hi > cols {
+				hi = cols
+			}
+			pt := rp[c]
+			p.EncodeRowInto(rs.pt, A[base+i][lo:hi], scale)
+			clk.Mark(obs.StageEncode)
+			p.LiftInto(pt, rs.pt)
+			clk.Mark(obs.StageLift)
+			p.R.NTT(pt)
+			clk.Mark(obs.StageNTT)
+			p.R.ShoupPrecompPolyInto(rsh[c], pt)
+			clk.Skip() // Shoup tables are bookkeeping, not a pipeline stage
+		}
+		t.rowNTT[i] = rp
+		t.rowShoup[i] = rsh
+	}
+	return t
 }
 
 // NewResult allocates a result of the right shape for ApplyInto.
@@ -227,6 +328,11 @@ func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext) error {
 			return fmt.Errorf("%w: result tile %d has the wrong shape; allocate with NewResult", ErrResultShape, ti)
 		}
 	}
+	for ti, t := range pm.tiles {
+		if t == nil {
+			return fmt.Errorf("%w: tile %d (prepared sparsely; use ApplyTiles or PrepareTile)", ErrTileNotPrepared, ti)
+		}
+	}
 	e.ensureInvN()
 	sc := e.getApplyScratch(pm.chunks, pm.maxPad)
 	defer e.putApplyScratch(sc)
@@ -239,6 +345,75 @@ func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext) error {
 		}
 	}
 	res.M, res.N = pm.m, e.P.R.N
+	return nil
+}
+
+// ApplyTiles computes only the listed row tiles of A·v, writing tile
+// tiles[k]'s packed ciphertext into out[k] — the shard-side apply of the
+// cluster tier. Each out entry must be shaped like a NewResult tile.
+// Because every tile's ciphertext depends only on its own rows, the
+// results are bit-identical to the corresponding entries of a full
+// ApplyInto (the gather-merge invariant the cluster tests pin down).
+func (pm *PreparedMatrix) ApplyTiles(out []*rlwe.Ciphertext, tiles []int, ctV []*rlwe.Ciphertext) error {
+	on := obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
+	if err := pm.applyTiles(out, tiles, ctV); err != nil {
+		return countErr(err)
+	}
+	if on {
+		mApplyPrepared.Observe(time.Since(t0).Seconds())
+		mAppliesPrepared.Inc()
+		rows := 0
+		for _, ti := range tiles {
+			rows += pm.TileRows(ti)
+		}
+		mRows.Add(uint64(rows))
+	}
+	return nil
+}
+
+func (pm *PreparedMatrix) applyTiles(out []*rlwe.Ciphertext, tiles []int, ctV []*rlwe.Ciphertext) error {
+	e := pm.ev
+	if len(ctV) != pm.chunks {
+		return fmt.Errorf("%w: matrix has %d column chunks but vector has %d ciphertexts", ErrVectorLength, pm.chunks, len(ctV))
+	}
+	if len(out) != len(tiles) {
+		return fmt.Errorf("%w: %d output slots for %d tiles", ErrResultShape, len(out), len(tiles))
+	}
+	for k, ti := range tiles {
+		if ti < 0 || ti >= len(pm.tiles) {
+			return fmt.Errorf("%w: tile %d of %d", ErrTileIndex, ti, len(pm.tiles))
+		}
+		if pm.tiles[ti] == nil {
+			return fmt.Errorf("%w: tile %d", ErrTileNotPrepared, ti)
+		}
+		ct := out[k]
+		if ct == nil || ct.B == nil || ct.A == nil {
+			return fmt.Errorf("%w: output slot %d is nil", ErrResultShape, k)
+		}
+		if ct.B.Levels() != e.P.NormalLevels || ct.A.Levels() != e.P.NormalLevels ||
+			len(ct.B.Coeffs[0]) != e.P.R.N || len(ct.A.Coeffs[0]) != e.P.R.N {
+			return fmt.Errorf("%w: output slot %d has the wrong shape", ErrResultShape, k)
+		}
+	}
+	if len(tiles) == 0 {
+		return nil
+	}
+	e.ensureInvN()
+	sc := e.getApplyScratch(pm.chunks, pm.maxPad)
+	defer e.putApplyScratch(sc)
+	if err := e.loadVector(sc, ctV); err != nil {
+		return err
+	}
+	for k, ti := range tiles {
+		t := pm.tiles[ti]
+		if err := e.tileApply(out[k], sc, t, nil, 0, t.rows, t.mPad); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -268,3 +268,108 @@ func TestErrorClassCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestPrepareTilesSparse: a sparsely prepared matrix applies exactly the
+// tiles it owns, bit-identical to the full preparation (the invariant the
+// sharded serving tier builds on), lazily fills in missing tiles with
+// PrepareTile, and rejects touching an unprepared tile with the typed
+// sentinel.
+func TestPrepareTilesSparse(t *testing.T) {
+	p := testParams(t, 32)
+	rng := testutil.NewRand(t)
+	sk := p.KeyGen(rng)
+	ev, err := NewEvaluator(p, rng, sk, p.R.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := 3*p.R.N+5, p.R.N+7 // four row tiles (one short), two column chunks
+	A := randomMatrix(rng, m, n, p.T.Q)
+	v := randomVector(rng, n, p.T.Q)
+	ctV := EncryptVector(p, rng, sk, v)
+
+	full, err := ev.Prepare(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := full.NewResult()
+	if err := full.ApplyInto(ref, ctV); err != nil {
+		t.Fatal(err)
+	}
+
+	own := []int{0, 2} // a shard's non-contiguous subset
+	pm, err := ev.PrepareTiles(A, own)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Tiles() != full.Tiles() {
+		t.Fatalf("sparse matrix reports %d tiles, full reports %d", pm.Tiles(), full.Tiles())
+	}
+	for ti := 0; ti < pm.Tiles(); ti++ {
+		want := ti == 0 || ti == 2
+		if pm.HasTile(ti) != want {
+			t.Errorf("HasTile(%d) = %v, want %v", ti, pm.HasTile(ti), want)
+		}
+	}
+	if pm.HasTile(-1) || pm.HasTile(pm.Tiles()) {
+		t.Error("HasTile accepted an out-of-range index")
+	}
+	if got := pm.TileRows(3); got != m-3*p.R.N {
+		t.Errorf("TileRows(3) = %d, want %d", got, m-3*p.R.N)
+	}
+
+	newOut := func(k int) []*rlwe.Ciphertext {
+		out := make([]*rlwe.Ciphertext, k)
+		for i := range out {
+			out[i] = &rlwe.Ciphertext{B: p.R.NewPoly(p.NormalLevels), A: p.R.NewPoly(p.NormalLevels)}
+		}
+		return out
+	}
+	out := newOut(len(own))
+	if err := pm.ApplyTiles(out, own, ctV); err != nil {
+		t.Fatal(err)
+	}
+	for k, ti := range own {
+		if !ctEqual(out[k], ref.Packed[ti]) {
+			t.Errorf("sparse tile %d differs from full apply", ti)
+		}
+	}
+
+	// Unprepared and out-of-range tiles come back as typed sentinels.
+	wantErr(t, pm.ApplyTiles(newOut(1), []int{1}, ctV), ErrTileNotPrepared, "unprepared tile")
+	wantErr(t, pm.ApplyTiles(newOut(1), []int{9}, ctV), ErrTileIndex, "out-of-range tile")
+	wantErr(t, pm.ApplyInto(pm.NewResult(), ctV), ErrTileNotPrepared, "full apply on sparse matrix")
+	wantErr(t, pm.ApplyTiles(newOut(2), []int{0}, ctV), ErrResultShape, "output slot count mismatch")
+	wantErr(t, pm.PrepareTile(A, 17), ErrTileIndex, "PrepareTile out of range")
+	wantErr(t, pm.PrepareTile(A[:1], 1), ErrRaggedMatrix, "PrepareTile wrong row count")
+
+	// Lazy fill-in: after PrepareTile the remaining tiles apply and the
+	// whole matrix matches the full preparation; re-preparing is a no-op.
+	for _, ti := range []int{1, 3, 1} {
+		if err := pm.PrepareTile(A, ti); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := pm.NewResult()
+	if err := pm.ApplyInto(res, ctV); err != nil {
+		t.Fatal(err)
+	}
+	for ti := range ref.Packed {
+		if !ctEqual(res.Packed[ti], ref.Packed[ti]) {
+			t.Errorf("tile %d differs after lazy preparation", ti)
+		}
+	}
+
+	// PrepareTiles with an empty (non-nil) subset validates but prepares
+	// nothing.
+	empty, err := ev.PrepareTiles(A, []int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < empty.Tiles(); ti++ {
+		if empty.HasTile(ti) {
+			t.Errorf("empty subset prepared tile %d", ti)
+		}
+	}
+	_, err = ev.PrepareTiles(A, []int{0, 99})
+	wantErr(t, err, ErrTileIndex, "PrepareTiles out-of-range subset")
+}

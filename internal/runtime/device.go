@@ -66,7 +66,9 @@ type Device struct {
 	jobsDone  int
 	resets    int
 	faults    FaultPlan
-	jobDur    time.Duration // simulated per-job latency
+	jobDur    time.Duration // simulated per-job latency (flat model)
+	rowBase   time.Duration // descriptor-aware model: fixed dispatch cost
+	rowPer    time.Duration // descriptor-aware model: per-row pipeline cost
 	pending   map[int]*time.Timer
 	heartbeat uint64
 }
@@ -128,6 +130,19 @@ func (d *Device) ReadReg(addr uint32) uint64 {
 	return d.regs[addr]
 }
 
+// SetRowLatency switches the card to a descriptor-aware latency model:
+// each job takes base + perRow × Rows, with Rows read from the engine's
+// loaded configuration (word 0 carries Rows<<32|Cols under the parity
+// seal). This is how the simulation reflects the pipeline-model fact that
+// HMVP wall time is dominated by the per-row dot products — a shard
+// serving half a matrix's tiles finishes its card job in half the time.
+// perRow = 0 restores the flat jobDur model.
+func (d *Device) SetRowLatency(base, perRow time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rowBase, d.rowPer = base, perRow
+}
+
 // startJob begins executing on an engine (caller holds the lock).
 func (d *Device) startJob(engine int) {
 	if engine < 0 || engine >= d.engines {
@@ -138,7 +153,16 @@ func (d *Device) startJob(engine int) {
 		return // doorbell on a busy engine is ignored
 	}
 	d.regs[statusAddr] = JobRunning
-	t := time.AfterFunc(d.jobDur, func() { d.finishJob(engine) })
+	dur := d.jobDur
+	if d.rowPer > 0 {
+		dur = d.rowBase
+		// Word 0 of this engine's configuration; a corrupt word falls back
+		// to the fixed cost (the driver's read-back catches it anyway).
+		if w, err := checkWord(d.regs[RegScratch+uint32(0x40*engine)]); err == nil {
+			dur += time.Duration(w>>32) * d.rowPer
+		}
+	}
+	t := time.AfterFunc(dur, func() { d.finishJob(engine) })
 	d.pending[engine] = t
 }
 

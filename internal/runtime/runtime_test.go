@@ -389,3 +389,41 @@ func TestRunHMVPCtx(t *testing.T) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
+
+// TestRowLatencyModel: with the descriptor-aware latency model on, a job
+// over twice the rows takes measurably longer, and a half-size job
+// finishes faster than a full-size one — the property that makes sharded
+// serving throughput honest in the cluster benchmarks.
+func TestRowLatencyModel(t *testing.T) {
+	dev := NewDevice(1, jobDur, FaultPlan{})
+	dev.SetRowLatency(0, 50*time.Microsecond)
+	rt, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(rows uint32) time.Duration {
+		d := &HMVPDescriptor{
+			Rows: rows, Cols: 64,
+			MatrixAddr: 0x1000, VectorAddr: 0x2000, KeyAddr: 0x3000, ResultAddr: 0x4000,
+			PackRowsLog2: 6,
+		}
+		t0 := time.Now()
+		if err := rt.RunHMVP(d); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	small, large := run(10), run(200)
+	// 10 rows ≈ 0.5ms, 200 rows ≈ 10ms of simulated card time. Timer
+	// granularity is far below the 9.5ms gap, so the ordering is robust.
+	if large < small+5*time.Millisecond {
+		t.Errorf("row latency model not applied: 10 rows took %v, 200 rows took %v", small, large)
+	}
+
+	// perRow=0 restores the flat model.
+	dev.SetRowLatency(0, 0)
+	flat := run(200)
+	if flat > small+5*time.Millisecond && flat > 2*jobDur+5*time.Millisecond {
+		t.Errorf("flat model not restored: 200-row job took %v", flat)
+	}
+}

@@ -28,6 +28,12 @@ var (
 		"Frame bytes received from clients.")
 	mBytesTx = obs.GetCounter("cham_server_bytes_tx_total",
 		"Frame bytes sent to clients.")
+	mTilesServed = obs.GetCounter("cham_server_tiles_served_total",
+		"Row tiles computed for tile-subset requests.")
+	mTilesPrepared = obs.GetCounter("cham_server_tiles_prepared_total",
+		"Row tiles prepared lazily on first use.")
+	mRegistrySyncs = obs.GetCounter("cham_server_registry_syncs_total",
+		"Registry pulls and pushes served.")
 )
 
 // mRequests counts inbound frames by message type.
@@ -45,6 +51,8 @@ func init() {
 		{wire.MsgSetupKeys, "setup_keys"},
 		{wire.MsgRegisterMatrix, "register_matrix"},
 		{wire.MsgApply, "apply"},
+		{wire.MsgTileApply, "tile_apply"},
+		{wire.MsgRegistrySync, "registry_sync"},
 		{wire.MsgPing, "ping"},
 	} {
 		mRequests[t.t] = obs.GetCounter("cham_server_requests_total",
@@ -54,6 +62,7 @@ func init() {
 		wire.CodeBadRequest, wire.CodeOverloaded, wire.CodeUnknownMatrix,
 		wire.CodeKeysRequired, wire.CodeKeysConflict, wire.CodeDeadline,
 		wire.CodeDraining, wire.CodeParamsMismatch, wire.CodeInternal,
+		wire.CodeDegraded,
 	} {
 		name := wire.CodeName(code)
 		mRejects[name] = obs.GetCounter("cham_server_rejects_total",

@@ -61,6 +61,13 @@ type Config struct {
 	// descriptor job on the simulated accelerator's engine pool, so batch
 	// coalescing amortizes real per-job dispatch cost.
 	Card *rt.Runtime
+	// LazyTiles is the shard mode of the cluster tier: RegisterMatrix
+	// retains the cleartext matrix and prepares no tiles upfront; each row
+	// tile is prepared on first use (a TileApply for it, a warm-up request,
+	// or a full Apply, which prepares everything). A shard node that
+	// normally serves its own tile range can therefore take over any tile
+	// after a peer dies, paying the preparation cost only on failover.
+	LazyTiles bool
 }
 
 // withDefaults fills unset fields.
@@ -91,11 +98,18 @@ func (c Config) withDefaults() (Config, error) {
 
 // regMatrix is one registered matrix: prepared once, applied many times,
 // with a pool of result buffers so steady-state applies reuse memory.
+// payload is the canonical RegisterMatrix encoding (whose SHA-256 is the
+// matrix ID) and feeds registry replication; A is retained only in
+// LazyTiles mode, where prepMu serializes on-demand tile preparation.
 type regMatrix struct {
 	pm       *core.PreparedMatrix
 	handle   wire.MatrixHandle
 	packLog2 uint8
+	payload  []byte
 	pool     sync.Pool // *core.Result
+
+	prepMu sync.Mutex
+	A      [][]uint64 // nil unless lazily prepared
 }
 
 func (m *regMatrix) getResult() *core.Result {
@@ -107,10 +121,13 @@ func (m *regMatrix) getResult() *core.Result {
 
 func (m *regMatrix) putResult(res *core.Result) { m.pool.Put(res) }
 
-// request is one admitted Apply, from enqueue to response.
+// request is one admitted Apply or TileApply, from enqueue to response.
+// tiles nil means a full apply; otherwise only the listed row tiles are
+// computed and answered as a MsgTileResult.
 type request struct {
 	mat      *regMatrix
 	vec      []*rlwe.Ciphertext
+	tiles    []uint32
 	conn     *serverConn
 	seq      uint16
 	enqueued time.Time
@@ -121,11 +138,12 @@ type request struct {
 type Server struct {
 	cfg Config
 
-	mu       sync.RWMutex // guards ev, keyHash, matrices
-	ev       *core.Evaluator
-	haveKeys bool
-	keyHash  [32]byte
-	matrices map[[32]byte]*regMatrix
+	mu          sync.RWMutex // guards ev, keyHash, keysPayload, matrices
+	ev          *core.Evaluator
+	haveKeys    bool
+	keyHash     [32]byte
+	keysPayload []byte // canonical SetupKeys encoding, for registry export
+	matrices    map[[32]byte]*regMatrix
 
 	// enqMu serializes admission against drain: enqueuers hold the read
 	// side, Shutdown flips draining under the write side, so no request
@@ -363,9 +381,17 @@ func (s *Server) runBatch(batch []*request) {
 		// One descriptor job per coalesced batch: config-load, doorbell and
 		// status-poll cost is paid once for up to MaxBatch vectors. The
 		// context carries the latest live deadline, so a batch nobody is
-		// waiting for anymore aborts while queued for an engine.
+		// waiting for anymore aborts while queued for an engine. Tile
+		// requests narrow the descriptor to the rows actually computed, so
+		// a shard's card pays for its share of the matrix, not all of it.
+		rows := 0
+		for _, req := range live {
+			if r := s.requestRows(req); r > rows {
+				rows = r
+			}
+		}
 		ctx, cancel := context.WithDeadline(context.Background(), latest)
-		err := s.cfg.Card.RunHMVPCtx(ctx, live[0].mat.descriptor())
+		err := s.cfg.Card.RunHMVPCtx(ctx, live[0].mat.descriptor(uint32(rows)))
 		cancel()
 		if err != nil {
 			for _, req := range live {
@@ -387,6 +413,10 @@ func (s *Server) runBatch(batch []*request) {
 		}
 		t0 := time.Now()
 		mat := req.mat
+		if req.tiles != nil {
+			s.runTileRequest(req, t0)
+			continue
+		}
 		res := mat.getResult()
 		if err := mat.pm.ApplyInto(res, req.vec); err != nil {
 			mat.putResult(res)
@@ -405,6 +435,47 @@ func (s *Server) runBatch(batch []*request) {
 	}
 }
 
+// runTileRequest serves the tile-subset half of runBatch: only the listed
+// row tiles are computed, and they come back labelled so the coordinator
+// can place each at its index in the gathered result.
+func (s *Server) runTileRequest(req *request, t0 time.Time) {
+	p := s.cfg.Params
+	mat := req.mat
+	tiles := make([]int, len(req.tiles))
+	out := make([]*rlwe.Ciphertext, len(req.tiles))
+	for i, ti := range req.tiles {
+		tiles[i] = int(ti)
+		out[i] = &rlwe.Ciphertext{B: p.R.NewPoly(p.NormalLevels), A: p.R.NewPoly(p.NormalLevels)}
+	}
+	if err := mat.pm.ApplyTiles(out, tiles, req.vec); err != nil {
+		s.finishErr(req, wire.Errf(wire.CodeBadRequest, "tile apply: %v", err))
+		return
+	}
+	payload := wire.EncodeTileResult(p.R, wire.TileResult{
+		M:      mat.handle.Rows,
+		N:      uint32(p.R.N),
+		Tiles:  req.tiles,
+		Packed: out,
+	})
+	mServeSec.Observe(time.Since(t0).Seconds())
+	mApplies.Inc()
+	mTilesServed.Add(uint64(len(req.tiles)))
+	s.finish(req, wire.MsgTileResult, payload)
+}
+
+// requestRows is the row count a request actually computes: the whole
+// matrix for a full apply, the subset's rows for a tile apply.
+func (s *Server) requestRows(req *request) int {
+	if req.tiles == nil {
+		return int(req.mat.handle.Rows)
+	}
+	rows := 0
+	for _, ti := range req.tiles {
+		rows += req.mat.pm.TileRows(int(ti))
+	}
+	return rows
+}
+
 // finish sends a success response and retires the request.
 func (s *Server) finish(req *request, t wire.MsgType, payload []byte) {
 	req.conn.send(t, req.seq, payload)
@@ -421,10 +492,15 @@ func (s *Server) finishErr(req *request, e *wire.Error) {
 
 // descriptor builds the card-side job configuration for one batch over
 // this matrix (fixed DDR layout; the simulation models dispatch cost, not
-// data placement).
-func (m *regMatrix) descriptor() *rt.HMVPDescriptor {
+// data placement). rows narrows the job to the rows the batch computes —
+// a tile subset on a shard node — so the card's latency model charges for
+// the work actually done.
+func (m *regMatrix) descriptor(rows uint32) *rt.HMVPDescriptor {
+	if rows == 0 || rows > m.handle.Rows {
+		rows = m.handle.Rows
+	}
 	return &rt.HMVPDescriptor{
-		Rows:         m.handle.Rows,
+		Rows:         rows,
 		Cols:         m.handle.Cols,
 		MatrixAddr:   0x1000_0000,
 		VectorAddr:   0x2000_0000,

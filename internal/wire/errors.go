@@ -20,8 +20,9 @@ const (
 	CodeKeysConflict   uint16 = 5 // SetupKeys disagrees with the installed set
 	CodeDeadline       uint16 = 6 // request deadline expired in queue or service
 	CodeDraining       uint16 = 7 // server is shutting down; retry elsewhere
-	CodeParamsMismatch uint16 = 8 // Hello parameters disagree with the server's
-	CodeInternal       uint16 = 9 // server-side failure
+	CodeParamsMismatch uint16 = 8  // Hello parameters disagree with the server's
+	CodeInternal       uint16 = 9  // server-side failure
+	CodeDegraded       uint16 = 10 // cluster quorum unreachable; partial shard coverage
 )
 
 // codeNames maps codes to stable identifiers (also used as metric labels).
@@ -35,6 +36,7 @@ var codeNames = map[uint16]string{
 	CodeDraining:       "draining",
 	CodeParamsMismatch: "params_mismatch",
 	CodeInternal:       "internal",
+	CodeDegraded:       "degraded",
 }
 
 // CodeName returns the stable identifier for a code.
@@ -56,11 +58,11 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("cham server: %s: %s", CodeName(e.Code), e.Detail)
 }
 
-// Retryable reports whether a fresh attempt may succeed: overload and
-// drain are transient serving states, everything else reflects the
-// request itself.
+// Retryable reports whether a fresh attempt may succeed: overload,
+// drain, and cluster degradation are transient serving states, everything
+// else reflects the request itself.
 func (e *Error) Retryable() bool {
-	return e.Code == CodeOverloaded || e.Code == CodeDraining
+	return e.Code == CodeOverloaded || e.Code == CodeDraining || e.Code == CodeDegraded
 }
 
 // Is matches two wire errors by code, so errors.Is(err, &wire.Error{Code:

@@ -131,6 +131,123 @@ func FuzzWireRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzWireClusterDecode hammers the cluster-tier codecs: encode∘decode
+// identity on fuzz-shaped tile jobs and registry syncs, then every
+// cluster decoder over mutations of those bytes — truncation, bit flips,
+// and garbage must yield errors, never panics.
+func FuzzWireClusterDecode(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), uint8(0), []byte{})
+	f.Add(int64(7), uint8(1), uint8(0), uint8(1), []byte{0xff, 0x00})
+	f.Add(int64(-3), uint8(9), uint8(5), uint8(200), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, seed int64, tileSel, matSel, mutate uint8, raw []byte) {
+		if err := wireFuzzSetup(); err != nil {
+			t.Fatal(err)
+		}
+		p := wireFuzz.p
+		rng := rand.New(rand.NewSource(seed))
+
+		// Round trip a well-formed TileApply (warm and vector-carrying).
+		nTiles := 1 + int(tileSel)%6
+		tiles := make([]uint32, nTiles)
+		next := uint32(rng.Intn(3))
+		for i := range tiles {
+			tiles[i] = next
+			next += 1 + uint32(rng.Intn(4))
+		}
+		v := make([]uint64, 1+rng.Intn(2*p.R.N))
+		for j := range v {
+			v[j] = rng.Uint64() % p.T.Q
+		}
+		ctV := core.EncryptVector(p, rng, wireFuzz.sk, v)
+		ta := TileApply{DeadlineMicros: uint64(seed), Tiles: tiles, Vector: ctV}
+		rng.Read(ta.ID[:])
+		back, err := DecodeTileApply(p.R, EncodeTileApply(p.R, ta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.ID != ta.ID || back.Warm || len(back.Tiles) != nTiles || len(back.Vector) != len(ctV) {
+			t.Fatal("tile apply header changed")
+		}
+		for i := range tiles {
+			if back.Tiles[i] != tiles[i] {
+				t.Fatalf("tile %d changed", i)
+			}
+		}
+		warm := TileApply{ID: ta.ID, Warm: true, Tiles: tiles}
+		backWarm, err := DecodeTileApply(p.R, EncodeTileApply(p.R, warm))
+		if err != nil || !backWarm.Warm || len(backWarm.Vector) != 0 {
+			t.Fatalf("warm tile apply round trip: %v", err)
+		}
+
+		// Round trip a TileResult with real ciphertexts.
+		tr := TileResult{M: uint32(8 * nTiles), N: uint32(p.R.N), Tiles: tiles}
+		for range tiles {
+			tr.Packed = append(tr.Packed, p.EncryptZeroSym(rng, wireFuzz.sk, p.NormalLevels))
+		}
+		trBytes := EncodeTileResult(p.R, tr)
+		backTR, err := DecodeTileResult(p.R, trBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if backTR.M != tr.M || backTR.N != tr.N || len(backTR.Packed) != len(tr.Packed) {
+			t.Fatal("tile result header changed")
+		}
+		for i := range tr.Packed {
+			if backTR.Tiles[i] != tr.Tiles[i] || !sameCiphertext(backTR.Packed[i], tr.Packed[i]) {
+				t.Fatalf("result tile %d changed", i)
+			}
+		}
+
+		// Round trip a RegistrySync/RegistryState pair.
+		nMats := int(matSel) % 4
+		var mats [][]byte
+		for i := 0; i < nMats; i++ {
+			m, err := EncodeRegisterMatrix([][]uint64{{uint64(i), 2}, {3, uint64(rng.Intn(100))}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mats = append(mats, m)
+		}
+		rs := RegistrySync{Push: seed%2 == 0, Keys: raw, Matrices: mats}
+		if len(rs.Keys) == 0 {
+			rs.Keys = nil
+		}
+		backRS, err := DecodeRegistrySync(rs.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if backRS.Push != rs.Push || len(backRS.Matrices) != nMats || !bytes.Equal(backRS.Keys, rs.Keys) {
+			t.Fatal("registry sync changed")
+		}
+		st := RegistryState{Keys: rs.Keys, Matrices: mats}
+		rng.Read(st.KeyHash[:])
+		backST, err := DecodeRegistryState(st.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if backST.KeyHash != st.KeyHash || len(backST.Matrices) != nMats {
+			t.Fatal("registry state changed")
+		}
+
+		// Every cluster decoder must be total over mutated encodings.
+		for _, data := range [][]byte{EncodeTileApply(p.R, ta), trBytes, rs.Encode(), st.Encode(), raw} {
+			if len(data) > 0 && mutate > 0 {
+				data = append([]byte(nil), data...)
+				for k := 0; k < int(mutate)%8+1; k++ {
+					data[rng.Intn(len(data))] ^= byte(1 << (rng.Intn(8)))
+				}
+				if cut := rng.Intn(len(data) + 1); seed%3 == 0 {
+					data = data[:cut]
+				}
+			}
+			_, _ = DecodeTileApply(p.R, data)
+			_, _ = DecodeTileResult(p.R, data)
+			_, _ = DecodeRegistrySync(data)
+			_, _ = DecodeRegistryState(data)
+		}
+	})
+}
+
 // FuzzWireDecode throws arbitrary bytes at every decoder: truncated,
 // oversized, bit-flipped, or garbage frames must yield an error (or a
 // semantically valid object), never a panic, and never a huge allocation
@@ -173,5 +290,9 @@ func FuzzWireDecode(f *testing.F) {
 		_, _ = DecodeResult(p.R, data)
 		_, _ = DecodeError(data)
 		_, _ = DecodePublicKey(p.R, data)
+		_, _ = DecodeTileApply(p.R, data)
+		_, _ = DecodeTileResult(p.R, data)
+		_, _ = DecodeRegistrySync(data)
+		_, _ = DecodeRegistryState(data)
 	})
 }

@@ -59,6 +59,10 @@ const (
 	MsgError          MsgType = 9 // server → client: typed failure
 	MsgPing           MsgType = 10
 	MsgPong           MsgType = 11
+	MsgTileApply      MsgType = 12 // coordinator → shard: tile-subset HMVP job (or warm-up)
+	MsgTileResult     MsgType = 13 // shard → coordinator: packed tiles for the subset
+	MsgRegistrySync   MsgType = 14 // peer → node: pull or push of the matrix registry
+	MsgRegistryState  MsgType = 15 // node → peer: installed keys + matrix payloads
 )
 
 // String names the type for diagnostics.
@@ -86,6 +90,14 @@ func (t MsgType) String() string {
 		return "Ping"
 	case MsgPong:
 		return "Pong"
+	case MsgTileApply:
+		return "TileApply"
+	case MsgTileResult:
+		return "TileResult"
+	case MsgRegistrySync:
+		return "RegistrySync"
+	case MsgRegistryState:
+		return "RegistryState"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
