@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-diff tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke cluster-smoke
+.PHONY: check vet build test race bench bench-diff tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke cluster-smoke trace-smoke
 
 # Tier-1 gate: everything a PR must keep green.
 check: vet build race
@@ -23,7 +23,7 @@ race:
 # path depends on, the telemetry layer under the race detector, and the
 # warm-path performance diff against the committed baseline.
 # Benchmarks only run on a tree that has passed it.
-tier2: race fuzz vet-strict obs-race serve-smoke cluster-smoke bench-diff
+tier2: race fuzz vet-strict obs-race serve-smoke cluster-smoke trace-smoke bench-diff
 
 # Warm-path regression gate: re-measure the chambench shapes and fail if
 # any Prepared/warm or Pack/warm ns/op regresses >10% over the committed
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireClusterDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireTraceHeaderDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzShardRouter$$' -fuzztime $(FUZZTIME)
 
 # End-to-end check of the live telemetry endpoint: boot chamsim with
@@ -77,6 +78,25 @@ serve-smoke:
 	$(GO) run ./examples/serve
 	$(GO) build -o /tmp/chamserve-smoke ./cmd/chamserve
 	$(GO) build -o /tmp/chambench-smoke ./cmd/chambench
+
+# End-to-end check of the tracer: boot chamsim with every apply sampled,
+# pull /debug/traces, and require the trace JSON to carry the apply span
+# and at least one bridged kernel stage span.
+trace-smoke:
+	$(GO) build -o /tmp/chamsim-trace-smoke ./cmd/chamsim
+	/tmp/chamsim-trace-smoke -metrics 127.0.0.1:19098 -trace-sample 1 -hold -repeat 2 hmvp 16 512 256 & \
+	pid=$$!; \
+	ok=1; \
+	for i in $$(seq 1 50); do \
+		if curl -sf 'http://127.0.0.1:19098/debug/traces?format=records' > /tmp/chamsim-trace-smoke.json 2>/dev/null \
+			&& grep -q '"name":"apply"' /tmp/chamsim-trace-smoke.json \
+			&& grep -q '"name":"stage:' /tmp/chamsim-trace-smoke.json; then ok=0; break; fi; \
+		sleep 0.2; \
+	done; \
+	if [ $$ok -eq 0 ] && ! curl -sf 'http://127.0.0.1:19098/debug/traces?format=chrome' | grep -q traceEvents; then ok=1; fi; \
+	kill $$pid 2>/dev/null; \
+	if [ $$ok -ne 0 ]; then echo "trace-smoke: no apply/stage spans at /debug/traces"; exit 1; fi; \
+	echo "trace-smoke: ok ($$(grep -o '"span"' /tmp/chamsim-trace-smoke.json | wc -l) spans exported)"
 
 # End-to-end check of the sharded tier: the loopback cluster example
 # scatters a 4-tile matrix across two shard nodes through the gateway,

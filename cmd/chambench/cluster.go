@@ -14,6 +14,7 @@ package main
 // in-process evaluator before anything is timed.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -24,9 +25,11 @@ import (
 	"time"
 
 	"cham/internal/bfv"
+	"cham/internal/client"
 	"cham/internal/cluster"
 	"cham/internal/core"
 	"cham/internal/lwe"
+	"cham/internal/obs/trace"
 	"cham/internal/rlwe"
 	rt "cham/internal/runtime"
 	"cham/internal/server"
@@ -338,6 +341,65 @@ func runCluster() (*clusterResult, error) {
 			res.Speedup2Shard, clusterSpeedupFloor)
 	}
 	return res, nil
+}
+
+// runTracedClusterRequest is the end-to-end tracing demo behind
+// `chambench -cluster -trace-sample`: a 2-shard fleet behind a real wire
+// gateway serves one sampled client apply, and because every tier runs
+// in this process the span ring already holds the merged trace. The
+// span tree — client → gateway → coordinator → both shards → server
+// queue/dispatch → runtime job → kernel stages — prints to stdout.
+func runTracedClusterRequest(rate float64) error {
+	// The rate must be set before the fleet boots: the coordinator's
+	// shard clients negotiate the traced frame version at dial time.
+	trace.Reset()
+	trace.SetSampleRate(rate)
+	defer trace.SetSampleRate(0)
+
+	h, err := newClusterHarness()
+	if err != nil {
+		return err
+	}
+	co, id, stop, err := h.startFleet(2, clusterP99PerRow, 1)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{Coordinator: co})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go gw.Serve(ln)
+	defer gw.Shutdown(context.Background())
+
+	cl, err := client.Dial(client.Config{Params: h.p, Addr: ln.Addr().String()})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	tc, sp := trace.Root("chambench", "apply")
+	_, aerr := cl.ApplyTraced(tc, id, h.ctV)
+	sp.EndErr(aerr)
+	if aerr != nil {
+		return aerr
+	}
+
+	recs := trace.TraceRecords(tc.Trace)
+	seen := map[string]bool{}
+	for _, r := range recs {
+		seen[r.Service] = true
+	}
+	for _, svc := range []string{"chambench", "client", "gateway", "coordinator", "server", "runtime", "kernel"} {
+		if !seen[svc] {
+			return fmt.Errorf("merged trace is missing %q spans (got %d spans)", svc, len(recs))
+		}
+	}
+	fmt.Printf("\ntraced cluster request %s (%d spans):\n", tc.Trace, len(recs))
+	return trace.WriteText(os.Stdout, recs)
 }
 
 // mergeClusterReport writes the cluster section into the report at path,

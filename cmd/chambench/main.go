@@ -177,6 +177,7 @@ func main() {
 	remote := flag.String("remote", "", `benchmark the serving tier instead: "self" spins up loopback servers in-process, host:port targets a running chamserve`)
 	remoteN := flag.Int("remote-n", 256, "ring degree for -remote mode (must match an external server)")
 	clients := flag.Int("clients", 64, "concurrent clients for the -remote throughput measurement")
+	traceSample := flag.Float64("trace-sample", 0, "with -cluster: after the benchmark, send one sampled apply through a gateway-fronted 2-shard fleet and print the merged trace")
 	flag.Parse()
 
 	if *clusterMode {
@@ -202,6 +203,12 @@ func main() {
 		if err := mergeClusterReport(*out, cr); err != nil {
 			fmt.Fprintln(os.Stderr, "chambench:", err)
 			os.Exit(1)
+		}
+		if *traceSample > 0 {
+			if err := runTracedClusterRequest(*traceSample); err != nil {
+				fmt.Fprintln(os.Stderr, "chambench:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

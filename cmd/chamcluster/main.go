@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -32,16 +33,26 @@ import (
 	"cham/internal/bfv"
 	"cham/internal/cluster"
 	"cham/internal/obs/metricshttp"
+	"cham/internal/obs/trace"
 	rt "cham/internal/runtime"
 	"cham/internal/server"
 )
+
+// parseLogLevel maps the -log-level flag onto a stderr slog handler.
+func parseLogLevel(s string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":7320", "TCP address the gateway serves the wire protocol on")
 		nodesFlag   = flag.String("nodes", "", "comma-separated chamserve shard addresses (mutually exclusive with -spawn)")
 		spawn       = flag.Int("spawn", 0, "spawn this many in-process shard nodes on loopback")
-		metricsAddr = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (enables telemetry)")
+		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/pprof, and /debug/traces on this address (enables telemetry)")
 		ringN       = flag.Int("n", 4096, "ring degree (power of two; must match clients and shards)")
 		replicas    = flag.Int("replicas", 2, "hedged attempts per tile group (owner + fallbacks)")
 		hedge       = flag.Duration("hedge", 50*time.Millisecond, "delay before hedging a straggling shard leg")
@@ -49,17 +60,26 @@ func main() {
 		jobDur      = flag.Duration("card-job-dur", 200*time.Microsecond, "flat per-job latency of each spawned shard's card")
 		rowLat      = flag.Duration("card-row-lat", 0, "per-row card latency for spawned shards (0 keeps the flat model)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+		traceSample = flag.Float64("trace-sample", 0, "probability [0,1] that an apply arriving untraced is sampled at the gateway")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	log, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chamcluster:", err)
+		os.Exit(1)
+	}
+	trace.SetSampleRate(*traceSample)
 	if err := run(*addr, *nodesFlag, *metricsAddr, *spawn, *ringN, *replicas,
-		*hedge, *engines, *jobDur, *rowLat, *drainWait); err != nil {
+		*hedge, *engines, *jobDur, *rowLat, *drainWait, log); err != nil {
 		fmt.Fprintln(os.Stderr, "chamcluster:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, nodesFlag, metricsAddr string, spawn, ringN, replicas int,
-	hedge time.Duration, engines int, jobDur, rowLat time.Duration, drainWait time.Duration) error {
+	hedge time.Duration, engines int, jobDur, rowLat time.Duration, drainWait time.Duration,
+	log *slog.Logger) error {
 	p, err := bfv.NewChamParams(ringN)
 	if err != nil {
 		return err
@@ -81,7 +101,7 @@ func run(addr, nodesFlag, metricsAddr string, spawn, ringN, replicas int,
 	var shards []*server.Server
 	if spawn > 0 {
 		for i := 0; i < spawn; i++ {
-			cfg := server.Config{Params: p, LazyTiles: true}
+			cfg := server.Config{Params: p, LazyTiles: true, Log: log.With("shard", i)}
 			if engines > 0 {
 				dev := rt.NewDevice(engines, jobDur, rt.FaultPlan{})
 				if rowLat > 0 {
@@ -119,6 +139,7 @@ func run(addr, nodesFlag, metricsAddr string, spawn, ringN, replicas int,
 		Nodes:      nodes,
 		Replicas:   replicas,
 		HedgeDelay: hedge,
+		Log:        log,
 	})
 	if err != nil {
 		return err

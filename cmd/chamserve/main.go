@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,14 +26,24 @@ import (
 
 	"cham/internal/bfv"
 	"cham/internal/obs/metricshttp"
+	"cham/internal/obs/trace"
 	rt "cham/internal/runtime"
 	"cham/internal/server"
 )
 
+// parseLogLevel maps the -log-level flag onto a stderr slog handler.
+func parseLogLevel(s string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":7316", "TCP address to serve the wire protocol on")
-		metricsAddr = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (enables telemetry)")
+		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/pprof, and /debug/traces on this address (enables telemetry)")
 		ringN       = flag.Int("n", 4096, "ring degree (power of two; must match clients)")
 		maxBatch    = flag.Int("max-batch", 16, "max coalesced requests per batch (1 disables batching)")
 		linger      = flag.Duration("linger", 2*time.Millisecond, "how long a batch waits to fill before dispatch")
@@ -43,10 +54,18 @@ func main() {
 		engines     = flag.Int("card-engines", 2, "simulated accelerator engines behind the batcher (0 disables the card mirror)")
 		jobDur      = flag.Duration("card-job-dur", 200*time.Microsecond, "simulated per-job latency of the card")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+		traceSample = flag.Float64("trace-sample", 0, "probability [0,1] that a request this node roots is traced end-to-end")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	log, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chamserve:", err)
+		os.Exit(1)
+	}
+	trace.SetSampleRate(*traceSample)
 	if err := run(*addr, *metricsAddr, *ringN, *maxBatch, *linger, *queueDepth,
-		*workers, *evalWorkers, *deadline, *engines, *jobDur, *drainWait); err != nil {
+		*workers, *evalWorkers, *deadline, *engines, *jobDur, *drainWait, log); err != nil {
 		fmt.Fprintln(os.Stderr, "chamserve:", err)
 		os.Exit(1)
 	}
@@ -54,7 +73,7 @@ func main() {
 
 func run(addr, metricsAddr string, ringN, maxBatch int, linger time.Duration,
 	queueDepth, workers, evalWorkers int, deadline time.Duration,
-	engines int, jobDur, drainWait time.Duration) error {
+	engines int, jobDur, drainWait time.Duration, log *slog.Logger) error {
 	p, err := bfv.NewChamParams(ringN)
 	if err != nil {
 		return err
@@ -76,6 +95,7 @@ func run(addr, metricsAddr string, ringN, maxBatch int, linger time.Duration,
 		DefaultDeadline: deadline,
 		Workers:         workers,
 		EvalWorkers:     evalWorkers,
+		Log:             log,
 	}
 	if engines > 0 {
 		card, err := rt.New(rt.NewDevice(engines, jobDur, rt.FaultPlan{}))

@@ -27,11 +27,31 @@ import (
 	"time"
 
 	"cham"
+	"cham/internal/core"
 	"cham/internal/fpga"
 	"cham/internal/noise"
+	"cham/internal/obs"
+	"cham/internal/obs/trace"
+	"cham/internal/rlwe"
 )
 
 var workers = flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
+
+// tracedApply runs one prepared apply under a root span. When sampling
+// selects the request, a StageRecorder bridges the kernel stage timings
+// into the trace so /debug/traces shows apply → kernel stage spans.
+func tracedApply(pm *core.PreparedMatrix, res *core.Result, ctV []*rlwe.Ciphertext) error {
+	tc, sp := trace.Root("chamsim", "apply")
+	rec := trace.NewStageRecorder(tc)
+	var sink obs.StageSink
+	if rec != nil {
+		sink = rec
+	}
+	err := pm.ApplyIntoSink(res, ctV, sink)
+	rec.Emit("kernel")
+	sp.EndErr(err)
+	return err
+}
 
 func verify() int {
 	checks := map[string]func() error{
@@ -136,8 +156,8 @@ func runHMVP(args []string) int {
 	}
 	prepTime := time.Since(prepStart)
 	applyStart := time.Now()
-	res2, err := pm.Apply(ctV)
-	if err != nil {
+	res2 := pm.NewResult()
+	if err := tracedApply(pm, res2, ctV); err != nil {
 		fmt.Fprintln(os.Stderr, "chamsim:", err)
 		return 1
 	}
@@ -147,7 +167,7 @@ func runHMVP(args []string) int {
 	}
 	// Extra applies keep the stage histograms and the endpoint busy.
 	for extra := 1; extra < *repeat; extra++ {
-		if _, err := pm.Apply(ctV); err != nil {
+		if err := tracedApply(pm, res2, ctV); err != nil {
 			fmt.Fprintln(os.Stderr, "chamsim:", err)
 			return 1
 		}

@@ -12,22 +12,26 @@ import (
 	"time"
 
 	"cham/internal/obs/metricshttp"
+	"cham/internal/obs/trace"
 	rt "cham/internal/runtime"
 )
 
 var (
 	metricsAddr = flag.String("metrics", "",
-		"serve /metrics and /debug/pprof on this address (e.g. :9090); enables telemetry")
+		"serve /metrics, /debug/pprof, and /debug/traces on this address (e.g. :9090); enables telemetry")
 	hold = flag.Bool("hold", false,
 		"with -metrics, keep serving after the command finishes until interrupted")
 	repeat = flag.Int("repeat", 1,
 		"run the hmvp applies this many times (feeds the latency histograms)")
+	traceSample = flag.Float64("trace-sample", 0,
+		"probability [0,1] that an hmvp apply is traced (spans served at /debug/traces)")
 )
 
 // startMetrics enables telemetry and launches the HTTP endpoint when
 // -metrics is set. Returns immediately; the server runs for the life of
 // the process.
 func startMetrics() error {
+	trace.SetSampleRate(*traceSample)
 	if *metricsAddr == "" {
 		return nil
 	}

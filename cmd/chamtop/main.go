@@ -1,7 +1,8 @@
 // Command chamtop is a small top(1)-style viewer for a running chamsim
 // (or any process serving the obs registry): it polls /metrics, and
-// renders the HMVP stage breakdown and the runtime/engine state as
-// text tables, with rates computed between consecutive scrapes.
+// renders the HMVP stage breakdown, the runtime/engine state, and (when
+// pointed at a chamcluster gateway) the scatter/gather counters as text
+// tables, with rates computed between consecutive scrapes.
 //
 // Usage:
 //
@@ -145,6 +146,37 @@ func render(w io.Writer, cur, prev *view) {
 			}
 		}
 		fmt.Fprintf(w, "engine %-5d %14.4f %10s\n", e, busy, frac)
+	}
+
+	// Cluster section: only rendered when the endpoint belongs to a
+	// chamcluster gateway (the cham_cluster_* family is registered).
+	if nodes, ok := cur.get("cham_cluster_nodes"); ok {
+		scatters, _ := cur.get("cham_cluster_scatters_total")
+		shardOK, _ := cur.get("cham_cluster_shard_requests_total", "outcome", "ok")
+		shardErr, _ := cur.get("cham_cluster_shard_requests_total", "outcome", "error")
+		hedges, _ := cur.get("cham_cluster_hedges_total")
+		rescatters, _ := cur.get("cham_cluster_rescatters_total")
+		degraded, _ := cur.get("cham_cluster_degraded_total")
+		joins, _ := cur.get("cham_cluster_joins_total")
+		conns, _ := cur.get("cham_cluster_gateway_connections")
+		gatherCnt, _ := cur.get("cham_cluster_gather_seconds_count")
+		gatherSum, _ := cur.get("cham_cluster_gather_seconds_sum")
+		rate := "-"
+		if prev != nil {
+			if prevScatters, ok := prev.get("cham_cluster_scatters_total"); ok {
+				if dt := cur.when.Sub(prev.when).Seconds(); dt > 0 {
+					rate = fmt.Sprintf("%.1f/s", (scatters-prevScatters)/dt)
+				}
+			}
+		}
+		gatherAvg := 0.0
+		if gatherCnt > 0 {
+			gatherAvg = gatherSum / gatherCnt
+		}
+		fmt.Fprintf(w, "\nCLUSTER  nodes %.0f  conns %.0f  scatters %.0f (%s)  gather avg %.2fms\n",
+			nodes, conns, scatters, rate, 1e3*gatherAvg)
+		fmt.Fprintf(w, "         shard ok %.0f  err %.0f  hedges %.0f  rescatters %.0f  degraded %.0f  joins %.0f\n",
+			shardOK, shardErr, hedges, rescatters, degraded, joins)
 	}
 
 	// RAS one-liner.

@@ -1,0 +1,144 @@
+// Command chamtrace fetches and merges distributed traces. Every node
+// of a CHAM deployment (chamserve shards, the chamcluster gateway,
+// chamsim) retains its newest spans in an in-process ring served at
+// /debug/traces; chamtrace pulls the raw records from each node's
+// endpoint, merges them by TraceID, and renders the end-to-end span
+// tree with the critical path — the chain of spans that bounds the
+// request's latency across client, gateway, coordinator, shards,
+// server queue/batch, runtime job, and kernel stages.
+//
+// Usage:
+//
+//	chamtrace -nodes http://gw:9090,http://shard0:9091,http://shard1:9092
+//	chamtrace -nodes ... -trace 4f2a...            one trace only
+//	chamtrace -nodes ... -last 1                   newest trace only
+//	chamtrace -nodes ... -format chrome -o t.json  Perfetto/chrome://tracing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"cham/internal/obs/trace"
+)
+
+var (
+	nodes   = flag.String("nodes", "http://localhost:9090", "comma-separated metrics endpoints to pull span rings from")
+	traceID = flag.String("trace", "", "only render this trace (hex TraceID)")
+	last    = flag.Int("last", 0, "only render the newest N traces (0 = all)")
+	format  = flag.String("format", "text", "output format: text, records, or chrome")
+	out     = flag.String("o", "", "write output to this file instead of stdout")
+)
+
+// fetch pulls one node's span ring as raw records.
+func fetch(base string) ([]trace.Record, error) {
+	url := strings.TrimRight(base, "/") + "/debug/traces?format=records"
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s returned %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return trace.UnmarshalRecords(body)
+}
+
+func run() error {
+	// Merge pass: every node contributes the spans it recorded locally;
+	// TraceID stitches them back into one request. A node that is down
+	// degrades the trace (its spans are missing) instead of failing the
+	// whole merge — buildTree parents orphans at the root.
+	var merged []trace.Record
+	var errs []string
+	for _, node := range strings.Split(*nodes, ",") {
+		node = strings.TrimSpace(node)
+		if node == "" {
+			continue
+		}
+		recs, err := fetch(node)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		merged = append(merged, recs...)
+	}
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "chamtrace: warning:", e)
+	}
+	if len(merged) == 0 && len(errs) > 0 {
+		return fmt.Errorf("no node reachable")
+	}
+
+	if *traceID != "" {
+		id, ok := trace.ParseTraceID(*traceID)
+		if !ok {
+			return fmt.Errorf("bad trace id %q", *traceID)
+		}
+		merged = trace.FilterTrace(merged, id)
+		if len(merged) == 0 {
+			return fmt.Errorf("trace %s not found on any node", *traceID)
+		}
+	}
+	if *last > 0 {
+		ids := trace.TraceIDs(merged)
+		if len(ids) > *last {
+			keep := map[trace.TraceID]bool{}
+			for _, id := range ids[len(ids)-*last:] {
+				keep[id] = true
+			}
+			kept := merged[:0]
+			for _, r := range merged {
+				if keep[r.Trace] {
+					kept = append(kept, r)
+				}
+			}
+			merged = kept
+		}
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		return trace.WriteText(w, merged)
+	case "records":
+		buf, err := trace.MarshalRecords(merged)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(buf)
+		return err
+	case "chrome":
+		buf, err := trace.ChromeTrace(merged)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(buf)
+		return err
+	}
+	return fmt.Errorf("unknown format %q (want text, records, or chrome)", *format)
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chamtrace:", err)
+		os.Exit(1)
+	}
+}

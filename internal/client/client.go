@@ -21,6 +21,7 @@ import (
 	"cham/internal/bfv"
 	"cham/internal/lwe"
 	"cham/internal/obs"
+	"cham/internal/obs/trace"
 	"cham/internal/rlwe"
 	"cham/internal/wire"
 )
@@ -131,10 +132,11 @@ func defaultJitter() func() float64 {
 
 // poolConn is one handshaken connection; at most one request in flight.
 type poolConn struct {
-	c   net.Conn
-	br  *bufio.Reader
-	seq uint16
-	ok  wire.HelloOK
+	c      net.Conn
+	br     *bufio.Reader
+	seq    uint16
+	ok     wire.HelloOK
+	traced bool // server accepted wire.FrameVersionTraced for this conn
 }
 
 // Client talks to one chamserve instance. Safe for concurrent use; each
@@ -229,23 +231,66 @@ func (cl *Client) dial() (*poolConn, error) {
 		nc.Close()
 		return nil, err
 	}
-	nc.SetDeadline(time.Time{})
 	ok, err := wire.DecodeHelloOK(payload)
 	if err != nil {
 		nc.Close()
 		return nil, &errTransport{err}
 	}
 	pc.ok = ok
+	if trace.Enabled() {
+		if err := cl.negotiateTrace(pc); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
+	nc.SetDeadline(time.Time{})
 	return pc, nil
+}
+
+// negotiateTrace probes the freshly-dialed connection for traced-frame
+// support (wire.MsgTraceHello). A trace-aware server acknowledges and
+// the connection may carry version-2 frames; a pre-tracing server
+// answers its generic unknown-message rejection with the stream still
+// in sync, so the probe silently degrades to plain v1 framing.
+func (cl *Client) negotiateTrace(pc *poolConn) error {
+	resp, err := pc.roundTrip(cl.cfg.MaxFrame, wire.MsgTraceHello, wire.MsgTraceHelloOK,
+		wire.TraceHello{MaxVersion: wire.FrameVersionTraced}.Encode())
+	if err != nil {
+		var we *wire.Error
+		if errors.As(err, &we) {
+			return nil // old server: keep the connection, stay on v1
+		}
+		return err
+	}
+	ack, err := wire.DecodeTraceHelloOK(resp)
+	if err != nil {
+		return &errTransport{err}
+	}
+	pc.traced = ack.Version == wire.FrameVersionTraced
+	return nil
 }
 
 // roundTrip sends one frame and reads the matching response. A sequence
 // or type mismatch means the stream is desynced and the connection is
 // unusable (the caller must close it).
 func (pc *poolConn) roundTrip(maxFrame uint32, t, want wire.MsgType, payload []byte) ([]byte, error) {
+	return pc.roundTripCtx(maxFrame, t, want, trace.Context{}, payload)
+}
+
+// roundTripCtx is roundTrip carrying a trace context: a sampled context
+// on a negotiated connection rides a version-2 frame so the server can
+// hang its spans under the client's; everything else stays version 1.
+func (pc *poolConn) roundTripCtx(maxFrame uint32, t, want wire.MsgType, tc trace.Context, payload []byte) ([]byte, error) {
 	pc.seq++
-	if err := wire.WriteFrame(pc.c, t, pc.seq, payload); err != nil {
-		return nil, &errTransport{err}
+	var werr error
+	if tc.Sampled() && pc.traced {
+		werr = wire.WriteFrameTraced(pc.c, t, pc.seq,
+			wire.TraceHeader{TraceID: tc.Trace, SpanID: tc.Span, Flags: tc.Flags}, payload)
+	} else {
+		werr = wire.WriteFrame(pc.c, t, pc.seq, payload)
+	}
+	if werr != nil {
+		return nil, &errTransport{werr}
 	}
 	rt, rseq, rp, err := wire.ReadFrame(pc.br, maxFrame)
 	if err != nil {
@@ -272,6 +317,13 @@ func (pc *poolConn) roundTrip(maxFrame uint32, t, want wire.MsgType, payload []b
 // typed server rejection keeps the stream in sync, anything else closes
 // the connection.
 func (cl *Client) do(t, want wire.MsgType, payload []byte) ([]byte, error) {
+	return cl.doCtx(trace.Context{}, t, want, payload)
+}
+
+// doCtx is do under a trace context: each attempt gets its own client
+// span (the context the server receives), so retries show up as
+// separate sibling RPCs in the trace.
+func (cl *Client) doCtx(tc trace.Context, t, want wire.MsgType, payload []byte) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= cl.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -281,10 +333,15 @@ func (cl *Client) do(t, want wire.MsgType, payload []byte) ([]byte, error) {
 		mRequests.Inc()
 		pc, err := cl.get()
 		if err == nil {
+			sctx, sp := trace.Start(tc, "client", "send:"+t.String())
+			if attempt > 0 && sp.Active() {
+				sp.Annotate(fmt.Sprintf("retry %d", attempt))
+			}
 			pc.c.SetDeadline(time.Now().Add(cl.cfg.RequestTimeout))
 			var resp []byte
-			resp, err = pc.roundTrip(cl.cfg.MaxFrame, t, want, payload)
+			resp, err = pc.roundTripCtx(cl.cfg.MaxFrame, t, want, sctx, payload)
 			pc.c.SetDeadline(time.Time{})
+			sp.EndErr(err)
 			var we *wire.Error
 			if err == nil || errors.As(err, &we) {
 				cl.put(pc) // stream still in sync
@@ -370,12 +427,20 @@ func (cl *Client) RegisterMatrix(A [][]uint64) (wire.MatrixHandle, error) {
 // returns the packed result. The request carries RequestTimeout as its
 // server-side deadline hint.
 func (cl *Client) Apply(id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, error) {
+	return cl.ApplyTraced(trace.Context{}, id, vec)
+}
+
+// ApplyTraced is Apply under a trace context: a sampled context rides
+// the request's wire frames (when the server negotiated tracing), so
+// server-side spans nest under the caller's. A zero context is exactly
+// Apply.
+func (cl *Client) ApplyTraced(tc trace.Context, id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, error) {
 	payload := wire.EncodeApply(cl.cfg.Params.R, wire.Apply{
 		ID:             id,
 		DeadlineMicros: uint64(cl.cfg.RequestTimeout / time.Microsecond),
 		Vector:         vec,
 	})
-	resp, err := cl.do(wire.MsgApply, wire.MsgResult, payload)
+	resp, err := cl.doCtx(tc, wire.MsgApply, wire.MsgResult, payload)
 	if err != nil {
 		return wire.Result{}, err
 	}

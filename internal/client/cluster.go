@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"cham/internal/obs/trace"
 	"cham/internal/rlwe"
 	"cham/internal/wire"
 )
@@ -16,13 +17,18 @@ import (
 // with an encrypted vector, returning the tile-labelled packed
 // ciphertexts. Tiles must be strictly ascending.
 func (cl *Client) TileApply(id [32]byte, tiles []uint32, vec []*rlwe.Ciphertext) (wire.TileResult, error) {
+	return cl.TileApplyTraced(trace.Context{}, id, tiles, vec)
+}
+
+// TileApplyTraced is TileApply under a trace context (see ApplyTraced).
+func (cl *Client) TileApplyTraced(tc trace.Context, id [32]byte, tiles []uint32, vec []*rlwe.Ciphertext) (wire.TileResult, error) {
 	payload := wire.EncodeTileApply(cl.cfg.Params.R, wire.TileApply{
 		ID:             id,
 		DeadlineMicros: uint64(cl.cfg.RequestTimeout / time.Microsecond),
 		Tiles:          tiles,
 		Vector:         vec,
 	})
-	resp, err := cl.do(wire.MsgTileApply, wire.MsgTileResult, payload)
+	resp, err := cl.doCtx(tc, wire.MsgTileApply, wire.MsgTileResult, payload)
 	if err != nil {
 		return wire.TileResult{}, err
 	}

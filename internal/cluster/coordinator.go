@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"cham/internal/client"
 	"cham/internal/lwe"
 	"cham/internal/obs"
+	"cham/internal/obs/trace"
 	"cham/internal/rlwe"
 	"cham/internal/wire"
 )
@@ -40,6 +42,11 @@ type Config struct {
 	// work to another node faster than in-place retries against a dead one.
 	NodeRetries int
 	MaxFrame    uint32
+
+	// Log receives the coordinator's structured logs (scatter records at
+	// Debug, membership at Info; sampled requests carry their trace_id).
+	// Default: discard.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -54,6 +61,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.HedgeDelay <= 0 {
 		c.HedgeDelay = 50 * time.Millisecond
+	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.DiscardHandler)
 	}
 	return c, nil
 }
@@ -223,6 +233,14 @@ type groupResult struct {
 // straggling shards are covered by hedged replicas; tiles still missing
 // after a full re-scatter produce a *DegradedError.
 func (co *Coordinator) Apply(id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, error) {
+	return co.ApplyTraced(trace.Context{}, id, vec)
+}
+
+// ApplyTraced is Apply under a trace context: the scatter, every hedged
+// per-shard RPC, and the gather each open a span under tc, so a merged
+// trace shows which shard was the critical path. A zero context is
+// exactly Apply.
+func (co *Coordinator) ApplyTraced(tc trace.Context, id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, error) {
 	handle, ok := co.Handle(id)
 	if !ok {
 		return wire.Result{}, wire.Errf(wire.CodeUnknownMatrix, "matrix not registered with the cluster")
@@ -243,6 +261,7 @@ func (co *Coordinator) Apply(id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, 
 	// Attempt k of a leg targets the k-th distinct node walking the ring
 	// from the group's owner, so failover load spreads the same way
 	// ownership does.
+	sctx, ssp := trace.Start(tc, "coordinator", "scatter")
 	results := make(chan groupResult)
 	legs := 0
 	for node, list := range asg {
@@ -257,7 +276,12 @@ func (co *Coordinator) Apply(id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, 
 				n = len(order)
 			}
 			res, _, launched, err := client.Hedged(n, co.cfg.HedgeDelay, func(i int) (wire.TileResult, error) {
-				r, e := cls[order[i]].TileApply(id, list, vec)
+				lctx, lsp := trace.Start(sctx, "coordinator", fmt.Sprintf("shard:%d", order[i]))
+				if lsp.Active() {
+					lsp.Annotate(fmt.Sprintf("%d tiles", len(list)))
+				}
+				r, e := cls[order[i]].TileApplyTraced(lctx, id, list, vec)
+				lsp.EndErr(e)
 				if e != nil {
 					mShardErr.Inc()
 				} else {
@@ -285,15 +309,22 @@ func (co *Coordinator) Apply(id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, 
 			packed[t] = g.res.Packed[k]
 		}
 	}
+	ssp.End()
 
 	// Re-scatter pass: any node can serve any tile (replicated registry +
 	// lazy prepare), so walk the whole ring once more for the leftovers.
+	gctx, gsp := trace.Start(tc, "coordinator", "gather")
+	defer gsp.End()
 	if len(missing) > 0 {
 		sortTiles(missing)
 		mRescatters.Inc()
+		co.cfg.Log.Debug("re-scatter",
+			"trace_id", traceLabel(tc), "missing", len(missing))
 		order := ring.Replicas(TileKey(id, missing[0]), len(cls))
 		for _, ni := range order {
-			res, err := cls[ni].TileApply(id, missing, vec)
+			lctx, lsp := trace.Start(gctx, "coordinator", fmt.Sprintf("rescatter:%d", ni))
+			res, err := cls[ni].TileApplyTraced(lctx, id, missing, vec)
+			lsp.EndErr(err)
 			if err != nil {
 				mShardErr.Inc()
 				lastErr = err
@@ -310,6 +341,8 @@ func (co *Coordinator) Apply(id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, 
 
 	if len(missing) > 0 {
 		mDegraded.Inc()
+		co.cfg.Log.Warn("degraded scatter",
+			"trace_id", traceLabel(tc), "missing", len(missing), "nodes", len(cls))
 		return wire.Result{}, &DegradedError{Missing: missing, Nodes: len(cls), Last: lastErr}
 	}
 	for t, ct := range packed {
@@ -318,6 +351,14 @@ func (co *Coordinator) Apply(id [32]byte, vec []*rlwe.Ciphertext) (wire.Result, 
 		}
 	}
 	return wire.Result{M: handle.Rows, N: uint32(co.cfg.Params.R.N), Packed: packed}, nil
+}
+
+// traceLabel renders a context's trace ID for logs ("-" when unsampled).
+func traceLabel(tc trace.Context) string {
+	if !tc.Sampled() {
+		return "-"
+	}
+	return tc.Trace.String()
 }
 
 // sortTiles orders a small tile list ascending (insertion sort — the
@@ -422,5 +463,6 @@ func (co *Coordinator) Join(addr string) error {
 	co.mu.Unlock()
 	mJoins.Inc()
 	mNodes.Set(float64(len(newRing.Nodes())))
+	co.cfg.Log.Info("node joined", "addr", addr, "nodes", len(newRing.Nodes()))
 	return nil
 }

@@ -8,8 +8,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cham/internal/obs"
+	"cham/internal/obs/trace"
 	"cham/internal/wire"
 )
 
@@ -164,10 +166,11 @@ func (g *Gateway) handleConn(nc net.Conn) {
 		mGatewayConns.Add(-1)
 	}()
 	for {
-		t, seq, payload, err := wire.ReadFrame(c.br, g.cfg.MaxFrame)
+		t, seq, th, payload, err := wire.ReadFrameAny(c.br, g.cfg.MaxFrame)
 		if err != nil {
 			return
 		}
+		tc := trace.Context{Trace: trace.TraceID(th.TraceID), Span: trace.SpanID(th.SpanID), Flags: th.Flags}
 		if !c.hello && t != wire.MsgHello && t != wire.MsgPing {
 			c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "handshake required before %v", t))
 			continue
@@ -180,7 +183,18 @@ func (g *Gateway) handleConn(nc net.Conn) {
 		case wire.MsgRegisterMatrix:
 			g.handleRegisterMatrix(c, seq, payload)
 		case wire.MsgApply:
-			g.handleApply(c, seq, payload)
+			g.handleApply(c, seq, tc, payload)
+		case wire.MsgTraceHello:
+			h, derr := wire.DecodeTraceHello(payload)
+			if derr != nil {
+				c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "trace hello: %v", derr))
+				continue
+			}
+			v := uint8(wire.FrameVersionTraced)
+			if h.MaxVersion < v {
+				v = h.MaxVersion
+			}
+			c.send(wire.MsgTraceHelloOK, seq, wire.TraceHelloOK{Version: v}.Encode())
 		case wire.MsgPing:
 			c.send(wire.MsgPong, seq, payload)
 		default:
@@ -238,7 +252,7 @@ func (g *Gateway) handleRegisterMatrix(c *gwConn, seq uint16, payload []byte) {
 	c.send(wire.MsgMatrixHandle, seq, h.Encode())
 }
 
-func (g *Gateway) handleApply(c *gwConn, seq uint16, payload []byte) {
+func (g *Gateway) handleApply(c *gwConn, seq uint16, tc trace.Context, payload []byte) {
 	if g.draining.Load() {
 		c.sendErr(seq, wire.Errf(wire.CodeDraining, "gateway is shutting down"))
 		return
@@ -250,7 +264,22 @@ func (g *Gateway) handleApply(c *gwConn, seq uint16, payload []byte) {
 		c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "apply: %v", err))
 		return
 	}
-	res, err := g.co.Apply(a.ID, a.Vector)
+	// The gateway is a trace edge: a request from a traced client keeps
+	// its context; an untraced request may be sampled fresh here, so a
+	// cluster fronting old clients still produces end-to-end traces.
+	t0 := time.Now()
+	var gsp trace.Span
+	if tc.Sampled() {
+		tc, gsp = trace.Start(tc, "gateway", "apply")
+	} else {
+		tc, gsp = trace.Root("gateway", "apply")
+	}
+	res, err := g.co.ApplyTraced(tc, a.ID, a.Vector)
+	gsp.EndErr(err)
+	if tc.Sampled() {
+		g.co.cfg.Log.Debug("gateway apply",
+			"trace_id", tc.Trace.String(), "dur", time.Since(t0), "err", err != nil)
+	}
 	if err != nil {
 		c.sendErr(seq, wireErr(err))
 		return

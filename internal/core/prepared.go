@@ -295,12 +295,19 @@ func (pm *PreparedMatrix) Apply(ctV []*rlwe.Ciphertext) (*Result, error) {
 // All intermediates come from pooled scratch: a warm call does not touch
 // the heap.
 func (pm *PreparedMatrix) ApplyInto(res *Result, ctV []*rlwe.Ciphertext) error {
+	return pm.ApplyIntoSink(res, ctV, nil)
+}
+
+// ApplyIntoSink is ApplyInto with per-stage kernel durations also routed to
+// sink (a traced request's recorder; it must tolerate concurrent StageAdd
+// calls). A nil sink is exactly ApplyInto.
+func (pm *PreparedMatrix) ApplyIntoSink(res *Result, ctV []*rlwe.Ciphertext, sink obs.StageSink) error {
 	on := obs.On()
 	var t0 time.Time
 	if on {
 		t0 = time.Now()
 	}
-	if err := pm.applyInto(res, ctV); err != nil {
+	if err := pm.applyInto(res, ctV, sink); err != nil {
 		return countErr(err)
 	}
 	if on {
@@ -311,7 +318,7 @@ func (pm *PreparedMatrix) ApplyInto(res *Result, ctV []*rlwe.Ciphertext) error {
 	return nil
 }
 
-func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext) error {
+func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext, sink obs.StageSink) error {
 	e := pm.ev
 	if len(ctV) != pm.chunks {
 		return fmt.Errorf("%w: matrix has %d column chunks but vector has %d ciphertexts", ErrVectorLength, pm.chunks, len(ctV))
@@ -336,6 +343,8 @@ func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext) error {
 	e.ensureInvN()
 	sc := e.getApplyScratch(pm.chunks, pm.maxPad)
 	defer e.putApplyScratch(sc)
+	sc.sink = sink
+	sc.clk.Attach(sink)
 	if err := e.loadVector(sc, ctV); err != nil {
 		return err
 	}
@@ -355,12 +364,18 @@ func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext) error {
 // results are bit-identical to the corresponding entries of a full
 // ApplyInto (the gather-merge invariant the cluster tests pin down).
 func (pm *PreparedMatrix) ApplyTiles(out []*rlwe.Ciphertext, tiles []int, ctV []*rlwe.Ciphertext) error {
+	return pm.ApplyTilesSink(out, tiles, ctV, nil)
+}
+
+// ApplyTilesSink is ApplyTiles with per-stage kernel durations also routed
+// to sink (see ApplyIntoSink); nil sink is exactly ApplyTiles.
+func (pm *PreparedMatrix) ApplyTilesSink(out []*rlwe.Ciphertext, tiles []int, ctV []*rlwe.Ciphertext, sink obs.StageSink) error {
 	on := obs.On()
 	var t0 time.Time
 	if on {
 		t0 = time.Now()
 	}
-	if err := pm.applyTiles(out, tiles, ctV); err != nil {
+	if err := pm.applyTiles(out, tiles, ctV, sink); err != nil {
 		return countErr(err)
 	}
 	if on {
@@ -375,7 +390,7 @@ func (pm *PreparedMatrix) ApplyTiles(out []*rlwe.Ciphertext, tiles []int, ctV []
 	return nil
 }
 
-func (pm *PreparedMatrix) applyTiles(out []*rlwe.Ciphertext, tiles []int, ctV []*rlwe.Ciphertext) error {
+func (pm *PreparedMatrix) applyTiles(out []*rlwe.Ciphertext, tiles []int, ctV []*rlwe.Ciphertext, sink obs.StageSink) error {
 	e := pm.ev
 	if len(ctV) != pm.chunks {
 		return fmt.Errorf("%w: matrix has %d column chunks but vector has %d ciphertexts", ErrVectorLength, pm.chunks, len(ctV))
@@ -405,6 +420,8 @@ func (pm *PreparedMatrix) applyTiles(out []*rlwe.Ciphertext, tiles []int, ctV []
 	e.ensureInvN()
 	sc := e.getApplyScratch(pm.chunks, pm.maxPad)
 	defer e.putApplyScratch(sc)
+	sc.sink = sink
+	sc.clk.Attach(sink)
 	if err := e.loadVector(sc, ctV); err != nil {
 		return err
 	}
@@ -442,7 +459,10 @@ func (e *Evaluator) getRowScratch() *rowScratch {
 	}
 }
 
-func (e *Evaluator) putRowScratch(rs *rowScratch) { e.rowPool.Put(rs) }
+func (e *Evaluator) putRowScratch(rs *rowScratch) {
+	rs.clk.Attach(nil) // see putApplyScratch
+	e.rowPool.Put(rs)
+}
 
 // applyScratch holds the per-call buffers shared across rows: the
 // NTT-domain vector chunks and the NTT-resident packing-tree nodes.
@@ -450,6 +470,7 @@ type applyScratch struct {
 	vNTT []*rlwe.Ciphertext // full basis, NTT domain
 	tree []*lwe.PackNode    // NTT-resident; consumed by PackResident
 	clk  obs.StageClock     // times the shared vector transforms
+	sink obs.StageSink      // traced request's recorder; nil when unsampled
 }
 
 func (e *Evaluator) getApplyScratch(chunks, mPad int) *applyScratch {
@@ -479,7 +500,13 @@ func (e *Evaluator) getApplyScratch(chunks, mPad int) *applyScratch {
 	return sc
 }
 
-func (e *Evaluator) putApplyScratch(sc *applyScratch) { e.applyPool.Put(sc) }
+func (e *Evaluator) putApplyScratch(sc *applyScratch) {
+	// Detach any trace sink before pooling — the next caller must not
+	// attribute its stages to this request's trace.
+	sc.sink = nil
+	sc.clk.Attach(nil)
+	e.applyPool.Put(sc)
+}
 
 // ensureInvN caches N^{-1} per limb (with Shoup companions), the constant
 // the fused B-extraction multiplies its limb sums by.
@@ -612,6 +639,7 @@ func (e *Evaluator) tileApply(out *rlwe.Ciphertext, sc *applyScratch, tile *prep
 		e.tileRowsParallel(sc, tile, raw, scale, rows, workers)
 	} else {
 		rs := e.getRowScratch()
+		rs.clk.Attach(sc.sink)
 		for i := 0; i < rows; i++ {
 			e.tileRow(sc, tile, raw, scale, i, rs)
 		}
@@ -620,11 +648,11 @@ func (e *Evaluator) tileApply(out *rlwe.Ciphertext, sc *applyScratch, tile *prep
 	for i := rows; i < mPad; i++ {
 		sc.tree[i].Zero()
 	}
-	root, err := lwe.PackResident(e.P, sc.tree[:mPad], e.Keys, workers)
+	root, err := lwe.PackResidentSink(e.P, sc.tree[:mPad], e.Keys, workers, sc.sink)
 	if err != nil {
 		return err
 	}
-	lwe.FlushInto(e.P, out, root)
+	lwe.FlushIntoSink(e.P, out, root, sc.sink)
 	return nil
 }
 
@@ -650,6 +678,7 @@ func (e *Evaluator) tileRowsParallel(sc *applyScratch, tile *preparedTile, raw [
 			defer wg.Done()
 			rs := e.getRowScratch()
 			defer e.putRowScratch(rs)
+			rs.clk.Attach(sc.sink)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= rows {

@@ -54,6 +54,23 @@ var (
 		"PACKTWOLWES tree merges (m-1 per packed tile).")
 )
 
+// observeStage publishes one stage duration: to the sink when a sampled
+// request is tracing this apply (with the trace ID as the histogram
+// exemplar), to the histogram alone otherwise. hist is the caller's
+// cached obs.On().
+func observeStage(h *obs.Histogram, stage int, d time.Duration, hist bool, sink obs.StageSink) {
+	if sink != nil {
+		sink.StageAdd(stage, d)
+		if hist {
+			h.ObserveExemplar(d.Seconds(), sink.ExemplarLabel())
+		}
+		return
+	}
+	if hist {
+		h.Observe(d.Seconds())
+	}
+}
+
 // ExtractAsRLWEInto fuses Extract and AsRLWE, writing the result into a
 // caller-owned normal-basis ciphertext: out's plaintext holds coefficient
 // idx of ct's plaintext at its constant coefficient. The mask double
@@ -214,7 +231,15 @@ func PutMergeScratch(p bfv.Params, ms *MergeScratch) {
 // one place the merge is nonlinear in a. E and O are consumed
 // (overwritten as scratch); out may alias E but not O.
 func PackTwoResident(p bfv.Params, out *PackNode, i int, E, O *PackNode, swk *rlwe.SwitchingKey, ms *MergeScratch) {
-	on := obs.On()
+	PackTwoResidentSink(p, out, i, E, O, swk, ms, nil)
+}
+
+// PackTwoResidentSink is PackTwoResident with per-stage durations also
+// routed to sink (a traced request's recorder); nil sink is exactly
+// PackTwoResident.
+func PackTwoResidentSink(p bfv.Params, out *PackNode, i int, E, O *PackNode, swk *rlwe.SwitchingKey, ms *MergeScratch, sink obs.StageSink) {
+	hist := obs.On()
+	on := hist || sink != nil
 	var t0 time.Time
 	if on {
 		t0 = time.Now()
@@ -270,11 +295,13 @@ func PackTwoResident(p bfv.Params, out *PackNode, i int, E, O *PackNode, swk *rl
 	r.Add(out.A, out.A, ms.c1)
 	if on {
 		t4 := time.Now()
-		packSec.Observe(t1.Sub(t0).Seconds())
-		pmdSec.Observe(t2.Sub(t1).Seconds())
-		decSec.Observe(t3.Sub(t2).Seconds())
-		ksSec.Observe(t4.Sub(t3).Seconds())
-		mergesCnt.Inc()
+		observeStage(packSec, obs.StagePack, t1.Sub(t0), hist, sink)
+		observeStage(pmdSec, obs.StagePackModDown, t2.Sub(t1), hist, sink)
+		observeStage(decSec, obs.StageDecompose, t3.Sub(t2), hist, sink)
+		observeStage(ksSec, obs.StageKeySwitch, t4.Sub(t3), hist, sink)
+		if hist {
+			mergesCnt.Inc()
+		}
 	}
 }
 
@@ -282,7 +309,14 @@ func PackTwoResident(p bfv.Params, out *PackNode, i int, E, O *PackNode, swk *rl
 // ModDown(INTT(nd.A)) — the whole tree's deferred divisions, once per
 // part. out must be a normal-basis ciphertext; nd is consumed.
 func FlushInto(p bfv.Params, out *rlwe.Ciphertext, nd *PackNode) {
-	on := obs.On()
+	FlushIntoSink(p, out, nd, nil)
+}
+
+// FlushIntoSink is FlushInto with per-stage durations also routed to sink;
+// nil sink is exactly FlushInto.
+func FlushIntoSink(p bfv.Params, out *rlwe.Ciphertext, nd *PackNode, sink obs.StageSink) {
+	hist := obs.On()
+	on := hist || sink != nil
 	var t0 time.Time
 	if on {
 		t0 = time.Now()
@@ -298,8 +332,8 @@ func FlushInto(p bfv.Params, out *rlwe.Ciphertext, nd *PackNode) {
 	flushModDown(p, out.A, nd.A)
 	if on {
 		t2 := time.Now()
-		inttSec.Observe(t1.Sub(t0).Seconds())
-		pmdSec.Observe(t2.Sub(t1).Seconds())
+		observeStage(inttSec, obs.StageINTT, t1.Sub(t0), hist, sink)
+		observeStage(pmdSec, obs.StagePackModDown, t2.Sub(t1), hist, sink)
 	}
 }
 
@@ -331,6 +365,13 @@ func flushModDown(p bfv.Params, dst, src *ring.Poly) {
 // goroutines; the merge for pair j touches only nodes[j] and
 // nodes[j+half], so the result is bit-identical for every worker count.
 func PackResident(p bfv.Params, nodes []*PackNode, keys *PackingKeys, workers int) (*PackNode, error) {
+	return PackResidentSink(p, nodes, keys, workers, nil)
+}
+
+// PackResidentSink is PackResident with per-stage durations also routed to
+// sink (which must be safe for concurrent StageAdd calls — the parallel
+// path's workers hit it simultaneously); nil sink is exactly PackResident.
+func PackResidentSink(p bfv.Params, nodes []*PackNode, keys *PackingKeys, workers int, sink obs.StageSink) (*PackNode, error) {
 	m := len(nodes)
 	if m < 1 || m&(m-1) != 0 || m > p.R.N {
 		return nil, fmt.Errorf("lwe: cannot pack %d ciphertexts (need power of two in [1,N])", m)
@@ -355,13 +396,13 @@ func PackResident(p bfv.Params, nodes []*PackNode, keys *PackingKeys, workers in
 			if nw > half {
 				nw = half
 			}
-			packLevelParallel(p, nodes, i, half, swk, nw)
+			packLevelParallel(p, nodes, i, half, swk, nw, sink)
 		} else {
 			if ms == nil {
 				ms = GetMergeScratch(p)
 			}
 			for j := 0; j < half; j++ {
-				PackTwoResident(p, nodes[j], i, nodes[j], nodes[j+half], swk, ms)
+				PackTwoResidentSink(p, nodes[j], i, nodes[j], nodes[j+half], swk, ms, sink)
 			}
 		}
 		count = half
@@ -374,7 +415,7 @@ func PackResident(p bfv.Params, nodes []*PackNode, keys *PackingKeys, workers in
 // each reusing one merge arena for every merge it claims at this level.
 // It lives in its own function so the goroutine closure's captures don't
 // force the caller's loop variables onto the heap on the serial path.
-func packLevelParallel(p bfv.Params, nodes []*PackNode, i, half int, swk *rlwe.SwitchingKey, nw int) {
+func packLevelParallel(p bfv.Params, nodes []*PackNode, i, half int, swk *rlwe.SwitchingKey, nw int, sink obs.StageSink) {
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(nw)
@@ -388,7 +429,7 @@ func packLevelParallel(p bfv.Params, nodes []*PackNode, i, half int, swk *rlwe.S
 				if j >= half {
 					return
 				}
-				PackTwoResident(p, nodes[j], i, nodes[j], nodes[j+half], swk, ms)
+				PackTwoResidentSink(p, nodes[j], i, nodes[j], nodes[j+half], swk, ms, sink)
 			}
 		}()
 	}

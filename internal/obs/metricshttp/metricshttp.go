@@ -10,22 +10,66 @@ import (
 	"net/http/pprof"
 
 	"cham/internal/obs"
+	"cham/internal/obs/trace"
 )
 
-// Handler returns a mux with /metrics (Prometheus text format) and the
-// stdlib /debug/pprof handlers.
+// Handler returns a mux with /metrics (Prometheus text format), the
+// stdlib /debug/pprof handlers, and /debug/traces (the process's span
+// ring in plain text, raw record JSON, or Chrome trace-event JSON).
 func Handler() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		obs.Default().WriteTo(w)
 	})
+	mux.HandleFunc("/debug/traces", handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleTraces dumps the process's span ring. Query parameters:
+//
+//	trace=<hex id>   only that trace's spans
+//	format=text      indented span trees + critical path (default)
+//	format=records   raw record JSON (what cmd/chamtrace fetches/merges)
+//	format=chrome    Chrome trace-event JSON (load in Perfetto)
+func handleTraces(w http.ResponseWriter, r *http.Request) {
+	recs := trace.Records()
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, ok := trace.ParseTraceID(q)
+		if !ok {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		recs = trace.FilterTrace(recs, id)
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		trace.WriteText(w, recs)
+	case "records":
+		buf, err := trace.MarshalRecords(recs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	case "chrome":
+		buf, err := trace.ChromeTrace(recs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	default:
+		http.Error(w, "unknown format (want text, records, or chrome)", http.StatusBadRequest)
+	}
 }
 
 // Serve enables telemetry and serves the endpoint on addr for the life

@@ -72,6 +72,16 @@ type Histogram struct {
 	upper  []float64
 	counts []atomic.Uint64 // len(upper)+1; last is +Inf
 	sum    atomic.Uint64   // float64 bits
+	ex     atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one recent observation of a histogram to the sampled
+// trace that produced it (OpenMetrics-style), so a slow bucket on a
+// dashboard resolves to a concrete TraceID in /debug/traces.
+type Exemplar struct {
+	Label string  // hex trace ID
+	Value float64 // the exemplified observation
+	TS    int64   // UnixNano at observation
 }
 
 // Observe records one value.
@@ -79,6 +89,56 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.upper, v) // first bound >= v
 	h.counts[i].Add(1)
 	atomicAddFloat(&h.sum, v)
+}
+
+// ObserveExemplar records one value and retains it as the histogram's
+// exemplar under label (a sampled trace ID). Only traced observations
+// call this, so the untraced hot path never touches the pointer slot.
+func (h *Histogram) ObserveExemplar(v float64, label string) {
+	h.Observe(v)
+	if label != "" {
+		h.ex.Store(&Exemplar{Label: label, Value: v, TS: time.Now().UnixNano()})
+	}
+}
+
+// Exemplar returns the most recent exemplar, or nil.
+func (h *Histogram) Exemplar() *Exemplar { return h.ex.Load() }
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts
+// by linear interpolation inside the holding bucket — the standard
+// Prometheus histogram_quantile estimate. Observations beyond the last
+// finite bound clamp to it; an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i == len(h.upper) { // +Inf bucket: clamp to last finite bound
+				return h.upper[len(h.upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			inBucket := float64(c)
+			if inBucket == 0 {
+				return h.upper[i]
+			}
+			frac := (rank - float64(cum-c)) / inBucket
+			return lo + (h.upper[i]-lo)*frac
+		}
+	}
+	return h.upper[len(h.upper)-1]
 }
 
 // Buckets returns the upper bounds (excluding +Inf).

@@ -29,15 +29,22 @@ func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
 	}{le, b.Count})
 }
 
-// MetricSnapshot is the point-in-time state of one series.
+// MetricSnapshot is the point-in-time state of one series. Histograms
+// carry interpolated quantile estimates (p50/p99/p99.9 — the SLO set)
+// and, when a sampled trace contributed an observation, the exemplar
+// trace ID linking the series back to /debug/traces.
 type MetricSnapshot struct {
-	Name    string            `json:"name"`
-	Type    string            `json:"type"`
-	Labels  map[string]string `json:"labels,omitempty"`
-	Value   float64           `json:"value"`
-	Count   uint64            `json:"count,omitempty"`
-	Sum     float64           `json:"sum,omitempty"`
-	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+	Name     string            `json:"name"`
+	Type     string            `json:"type"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Value    float64           `json:"value"`
+	Count    uint64            `json:"count,omitempty"`
+	Sum      float64           `json:"sum,omitempty"`
+	P50      float64           `json:"p50,omitempty"`
+	P99      float64           `json:"p99,omitempty"`
+	P999     float64           `json:"p999,omitempty"`
+	Exemplar string            `json:"exemplar,omitempty"`
+	Buckets  []BucketSnapshot  `json:"buckets,omitempty"`
 }
 
 // Snapshot returns the state of every registered series, ordered by
@@ -71,6 +78,14 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			s.Count = cum
 			s.Sum = m.h.Sum()
 			s.Value = m.h.Sum()
+			if cum > 0 {
+				s.P50 = m.h.Quantile(0.50)
+				s.P99 = m.h.Quantile(0.99)
+				s.P999 = m.h.Quantile(0.999)
+			}
+			if ex := m.h.Exemplar(); ex != nil {
+				s.Exemplar = ex.Label
+			}
 		}
 		out = append(out, s)
 	}
@@ -124,17 +139,33 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		case kindGauge:
 			err = emit("%s%s %s\n", m.name, labelString(m.labels), formatFloat(m.g.Value()))
 		case kindHistogram:
+			// An exemplar (sampled trace ID) rides the first bucket
+			// wide enough to hold its observation, OpenMetrics-style:
+			//   ..._bucket{le="0.25"} 7 # {trace_id="<hex>"} 0.2 <ts>
+			// ParseText strips the suffix, so plain scrapers keep working.
+			exSuffix := func(bound float64, done *bool) string {
+				ex := m.h.Exemplar()
+				if ex == nil || *done || ex.Value > bound {
+					return ""
+				}
+				*done = true
+				return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s", ex.Label,
+					formatFloat(ex.Value), formatFloat(float64(ex.TS)/1e9))
+			}
+			exDone := false
 			var cum uint64
 			for i, bound := range m.h.upper {
 				cum += m.h.counts[i].Load()
-				if err = emit("%s_bucket%s %d\n", m.name,
-					labelString(append(append([][2]string{}, m.labels...), [2]string{"le", formatFloat(bound)})), cum); err != nil {
+				if err = emit("%s_bucket%s %d%s\n", m.name,
+					labelString(append(append([][2]string{}, m.labels...), [2]string{"le", formatFloat(bound)})), cum,
+					exSuffix(bound, &exDone)); err != nil {
 					return n, err
 				}
 			}
 			cum += m.h.counts[len(m.h.upper)].Load()
-			if err = emit("%s_bucket%s %d\n", m.name,
-				labelString(append(append([][2]string{}, m.labels...), [2]string{"le", "+Inf"})), cum); err != nil {
+			if err = emit("%s_bucket%s %d%s\n", m.name,
+				labelString(append(append([][2]string{}, m.labels...), [2]string{"le", "+Inf"})), cum,
+				exSuffix(math.Inf(1), &exDone)); err != nil {
 				return n, err
 			}
 			if err = emit("%s_sum%s %s\n", m.name, labelString(m.labels), formatFloat(m.h.Sum())); err != nil {
@@ -196,6 +227,11 @@ func ParseText(text string) ([]Sample, error) {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		// Drop OpenMetrics exemplar suffixes (` # {...} v ts`) so the
+		// value split below sees only the series sample.
+		if cut := strings.Index(line, " # {"); cut >= 0 {
+			line = strings.TrimSpace(line[:cut])
 		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp < 0 {

@@ -46,22 +46,48 @@ var stageHists = func() [NumStages]*Histogram {
 // StageHistogram returns the latency histogram for one pipeline stage.
 func StageHistogram(stage int) *Histogram { return stageHists[stage] }
 
+// StageSink receives per-stage durations from a StageClock flush in
+// addition to (or instead of) the histograms. internal/obs/trace's
+// StageRecorder implements it to turn kernel stage timings into spans
+// of a sampled request; the interface lives here so core can thread a
+// sink through pooled scratch without obs depending on trace.
+type StageSink interface {
+	// StageAdd accumulates d into stage. Implementations must be
+	// safe for concurrent use: the parallel row loop flushes worker
+	// clocks into one sink.
+	StageAdd(stage int, d time.Duration)
+	// ExemplarLabel returns the exemplar label (a hex trace ID)
+	// attached to histogram observations made under this sink.
+	ExemplarLabel() string
+}
+
 // StageClock attributes wall time to pipeline stages with one time.Now
 // per transition, accumulating locally and publishing once per Flush so
 // a row touching a stage many times (once per column chunk) costs one
 // histogram observation. Embed it in pooled scratch — it is sized for
 // the stack/arena, never the heap — and drive it Start → Mark* → Flush.
 // When collection is off, Start leaves it dormant and every method is a
-// single branch.
+// single branch; an attached StageSink (sampled request tracing) arms
+// it regardless, so traced requests get stage spans even with the
+// metrics registry disabled.
 type StageClock struct {
 	on   bool
+	sink StageSink
 	last time.Time
 	acc  [NumStages]time.Duration
 }
 
+// Attach routes subsequent flushes into sink (nil detaches). The clock
+// lives in pooled scratch: callers attach for one traced apply and must
+// detach before the scratch is pooled again.
+func (c *StageClock) Attach(sink StageSink) { c.sink = sink }
+
+// Sink returns the attached sink (nil when untraced).
+func (c *StageClock) Sink() StageSink { return c.sink }
+
 // Start arms the clock for one instrumented region.
 func (c *StageClock) Start() {
-	c.on = On()
+	c.on = On() || c.sink != nil
 	if !c.on {
 		return
 	}
@@ -90,13 +116,24 @@ func (c *StageClock) Skip() {
 }
 
 // Flush publishes every stage that accumulated time and disarms the
-// clock.
+// clock. With a sink attached the durations also feed the sink, and
+// histogram observations carry the sink's exemplar label so a scrape
+// can link a slow bucket to a concrete sampled TraceID.
 func (c *StageClock) Flush() {
 	if !c.on {
 		return
 	}
+	hist := On()
 	for i, d := range c.acc {
-		if d > 0 {
+		if d <= 0 {
+			continue
+		}
+		if c.sink != nil {
+			c.sink.StageAdd(i, d)
+			if hist {
+				stageHists[i].ObserveExemplar(d.Seconds(), c.sink.ExemplarLabel())
+			}
+		} else if hist {
 			stageHists[i].Observe(d.Seconds())
 		}
 	}

@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// recordJSON is the interchange form of a Record: IDs as hex so the
+// payload survives any JSON tooling, fields short because a ring dump
+// carries thousands of spans.
+type recordJSON struct {
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent,omitempty"`
+	Service string `json:"service"`
+	Name    string `json:"name"`
+	Note    string `json:"note,omitempty"`
+	Start   int64  `json:"start"`
+	Dur     int64  `json:"dur"`
+}
+
+// MarshalRecords encodes records as the JSON array served by
+// /debug/traces?format=records and consumed by cmd/chamtrace.
+func MarshalRecords(recs []Record) ([]byte, error) {
+	out := make([]recordJSON, len(recs))
+	for i, r := range recs {
+		out[i] = recordJSON{
+			Trace: r.Trace.String(), Span: r.Span.String(),
+			Service: r.Service, Name: r.Name, Note: r.Note,
+			Start: r.Start, Dur: r.Dur,
+		}
+		if !r.Parent.IsZero() {
+			out[i].Parent = r.Parent.String()
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalRecords decodes a MarshalRecords payload. Records with
+// malformed IDs are dropped rather than failing the whole dump.
+func UnmarshalRecords(data []byte) ([]Record, error) {
+	var in []recordJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("trace: bad records payload: %w", err)
+	}
+	out := make([]Record, 0, len(in))
+	for _, rj := range in {
+		tid, ok := ParseTraceID(rj.Trace)
+		if !ok {
+			continue
+		}
+		r := Record{Trace: tid, Service: rj.Service, Name: rj.Name, Note: rj.Note, Start: rj.Start, Dur: rj.Dur}
+		if !decodeSpanID(rj.Span, &r.Span) {
+			continue
+		}
+		if rj.Parent != "" && !decodeSpanID(rj.Parent, &r.Parent) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func decodeSpanID(s string, dst *SpanID) bool {
+	if len(s) != 2*len(dst) {
+		return false
+	}
+	var tmp [8]byte
+	for i := 0; i < 8; i++ {
+		hi, ok1 := hexNibble(s[2*i])
+		lo, ok2 := hexNibble(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		tmp[i] = hi<<4 | lo
+	}
+	*dst = tmp
+	return true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// --- span tree ---
+
+// treeNode is one span plus its resolved children.
+type treeNode struct {
+	rec      Record
+	children []*treeNode
+}
+
+// buildTree groups records of ONE trace into root nodes. Spans whose
+// parent was evicted from the ring (or lives on an unreachable node)
+// become roots, so a torn trace still renders. Children sort by start.
+func buildTree(recs []Record) []*treeNode {
+	nodes := make(map[SpanID]*treeNode, len(recs))
+	for _, r := range recs {
+		if _, dup := nodes[r.Span]; dup {
+			continue // same span fetched from two endpoints
+		}
+		nodes[r.Span] = &treeNode{rec: r}
+	}
+	var roots []*treeNode
+	for _, n := range nodes {
+		if p, ok := nodes[n.rec.Parent]; ok && p != n {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes := func(ns []*treeNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].rec.Start != ns[j].rec.Start {
+				return ns[i].rec.Start < ns[j].rec.Start
+			}
+			return ns[i].rec.Name < ns[j].rec.Name
+		})
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.children)
+	}
+	return roots
+}
+
+// TraceIDs returns the distinct traces present in recs, ordered by
+// earliest span start (oldest first).
+func TraceIDs(recs []Record) []TraceID {
+	first := map[TraceID]int64{}
+	for _, r := range recs {
+		if t, ok := first[r.Trace]; !ok || r.Start < t {
+			first[r.Trace] = r.Start
+		}
+	}
+	ids := make([]TraceID, 0, len(first))
+	for id := range first {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return first[ids[i]] < first[ids[j]] })
+	return ids
+}
+
+// FilterTrace returns the records belonging to one trace.
+func FilterTrace(recs []Record, id TraceID) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Trace == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteText renders recs as indented span trees, one block per trace,
+// each followed by its critical path — the human-readable default of
+// /debug/traces and cmd/chamtrace.
+func WriteText(w io.Writer, recs []Record) error {
+	ids := TraceIDs(recs)
+	if len(ids) == 0 {
+		_, err := fmt.Fprintln(w, "no traces recorded")
+		return err
+	}
+	for _, id := range ids {
+		tr := FilterTrace(recs, id)
+		roots := buildTree(tr)
+		if _, err := fmt.Fprintf(w, "trace %s — %d spans\n", id, len(tr)); err != nil {
+			return err
+		}
+		for _, root := range roots {
+			if err := writeNode(w, root, 1); err != nil {
+				return err
+			}
+		}
+		cp := CriticalPath(tr)
+		if len(cp) > 1 {
+			if _, err := fmt.Fprintf(w, "  critical path:\n"); err != nil {
+				return err
+			}
+			for _, r := range cp {
+				if _, err := fmt.Fprintf(w, "    %-12s %-24s %s\n",
+					r.Service, r.Name, time.Duration(r.Dur)); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeNode(w io.Writer, n *treeNode, depth int) error {
+	note := ""
+	if n.rec.Note != "" {
+		note = "  [" + n.rec.Note + "]"
+	}
+	if _, err := fmt.Fprintf(w, "%*s%s/%s %s%s\n",
+		2*depth, "", n.rec.Service, n.rec.Name, time.Duration(n.rec.Dur), note); err != nil {
+		return err
+	}
+	for _, c := range n.children {
+		if err := writeNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CriticalPath returns the chain of spans that bounds the end-to-end
+// latency of one trace: starting from the longest root, it repeatedly
+// descends into the child that finishes last. recs must belong to a
+// single trace.
+func CriticalPath(recs []Record) []Record {
+	roots := buildTree(recs)
+	if len(roots) == 0 {
+		return nil
+	}
+	cur := roots[0]
+	for _, r := range roots[1:] {
+		if r.rec.Dur > cur.rec.Dur {
+			cur = r
+		}
+	}
+	path := []Record{cur.rec}
+	for len(cur.children) > 0 {
+		next := cur.children[0]
+		for _, c := range cur.children[1:] {
+			if c.rec.End() > next.rec.End() {
+				next = c
+			}
+		}
+		path = append(path, next.rec)
+		cur = next
+	}
+	return path
+}
+
+// --- Chrome trace-event export ---
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// flavour Perfetto and chrome://tracing load). Spans are emitted as
+// async begin/end pairs keyed by span ID so concurrent shard RPCs can
+// overlap without fighting over thread lanes.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	ID   string            `json:"id,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeTrace encodes recs as Chrome trace-event JSON. Each service
+// renders as one named process; every span is an async begin/end pair
+// carrying its trace ID, parent, and note as args.
+func ChromeTrace(recs []Record) ([]byte, error) {
+	pids := map[string]int{}
+	var events []chromeEvent
+	pidOf := func(service string) int {
+		if p, ok := pids[service]; ok {
+			return p
+		}
+		p := len(pids) + 1
+		pids[service] = p
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: p, Tid: 0,
+			Args: map[string]string{"name": service},
+		})
+		return p
+	}
+	for _, r := range recs {
+		pid := pidOf(r.Service)
+		args := map[string]string{"trace": r.Trace.String()}
+		if !r.Parent.IsZero() {
+			args["parent"] = r.Parent.String()
+		}
+		if r.Note != "" {
+			args["note"] = r.Note
+		}
+		id := "0x" + r.Span.String()
+		start := float64(r.Start) / 1e3
+		events = append(events,
+			chromeEvent{Name: r.Name, Cat: "cham", Ph: "b", TS: start, Pid: pid, Tid: 1, ID: id, Args: args},
+			chromeEvent{Name: r.Name, Cat: "cham", Ph: "e", TS: start + float64(r.Dur)/1e3, Pid: pid, Tid: 1, ID: id},
+		)
+	}
+	return json.Marshal(chromeFile{TraceEvents: events})
+}

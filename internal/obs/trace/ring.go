@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+)
+
+// Record is one completed span as stored in the ring and shipped to
+// chamtrace. Start and Dur are UnixNano / nanoseconds so records from
+// different nodes merge on a common clock (NTP-grade skew is visible
+// but the tree structure comes from span parentage, not timestamps).
+type Record struct {
+	Trace   TraceID
+	Span    SpanID
+	Parent  SpanID
+	Service string
+	Name    string
+	Note    string
+	Start   int64 // UnixNano
+	Dur     int64 // nanoseconds
+}
+
+// End returns the span's end time in UnixNano.
+func (r *Record) End() int64 { return r.Start + r.Dur }
+
+// ringCapacity fixes the per-process retention: the newest 16384
+// completed spans (a fully-traced cluster request is ~30 spans, so the
+// ring holds the last ~500 sampled requests). Old records are
+// overwritten, never freed — readers may observe a torn trace whose
+// earliest spans were evicted, which exporters tolerate by parenting
+// orphans at the root.
+const ringCapacity = 1 << 14
+
+// ring is the process-global lock-free span buffer. Writers claim a
+// slot with one atomic add and store an immutable *Record; readers
+// load slots concurrently. A reader racing a writer sees either the
+// old or the new record — both are complete spans.
+var ring struct {
+	head  atomic.Uint64
+	slots [ringCapacity]atomic.Pointer[Record]
+}
+
+// publish appends one completed span to the ring.
+func publish(r *Record) {
+	i := ring.head.Add(1) - 1
+	ring.slots[i%ringCapacity].Store(r)
+}
+
+// Records snapshots the ring: every retained span, ordered by start
+// time. The copy is detached — callers may sort and filter freely.
+func Records() []Record {
+	out := make([]Record, 0, 256)
+	n := ring.head.Load()
+	if n > ringCapacity {
+		n = ringCapacity
+	}
+	for i := uint64(0); i < n; i++ {
+		if r := ring.slots[i].Load(); r != nil {
+			out = append(out, *r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// TraceRecords returns the retained spans of one trace, ordered by
+// start time.
+func TraceRecords(id TraceID) []Record {
+	all := Records()
+	out := all[:0]
+	for _, r := range all {
+		if r.Trace == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Reset clears the ring (tests only — concurrent writers may race a
+// reset, which tests avoid by resetting between phases).
+func Reset() {
+	for i := range ring.slots {
+		ring.slots[i].Store(nil)
+	}
+	ring.head.Store(0)
+}
+
+// --- context.Context carrier (runtime jobs cross goroutines via ctx) ---
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tc. An unsampled tc is not attached,
+// so the off path never allocates a context value.
+func NewContext(ctx context.Context, tc Context) context.Context {
+	if !tc.Sampled() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// FromContext extracts the trace context from ctx (zero if absent).
+func FromContext(ctx context.Context) Context {
+	tc, _ := ctx.Value(ctxKey{}).(Context)
+	return tc
+}

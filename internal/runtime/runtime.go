@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cham/internal/obs"
+	"cham/internal/obs/trace"
 )
 
 // Runtime is the application-facing layer: it owns the driver, schedules
@@ -101,6 +102,7 @@ func (rt *Runtime) RunJob(config []uint64) error {
 // card failures.
 func (rt *Runtime) RunJobCtx(ctx context.Context, config []uint64) error {
 	on := obs.On()
+	tc := trace.FromContext(ctx)
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if on {
@@ -109,7 +111,14 @@ func (rt *Runtime) RunJobCtx(ctx context.Context, config []uint64) error {
 			return err
 		}
 		gen := rt.generation()
+		// Each attempt is its own span, so RAS replays show up as sibling
+		// jobs in the trace with the replay count annotated.
+		_, jsp := trace.Start(tc, "runtime", "job")
+		if attempt > 0 && jsp.Active() {
+			jsp.Annotate(fmt.Sprintf("replay %d", attempt))
+		}
 		err := rt.runOnce(ctx, config)
+		jsp.EndErr(err)
 		if err == nil {
 			if on {
 				mJobsOK.Inc()

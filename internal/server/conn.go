@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cham/internal/core"
+	"cham/internal/obs/trace"
 	"cham/internal/wire"
 )
 
@@ -56,12 +57,24 @@ func (s *Server) handleConn(nc net.Conn) {
 		mConns.Add(-1)
 	}()
 	for {
-		t, seq, payload, err := wire.ReadFrame(c.br, s.cfg.MaxFrame)
+		// The trace-aware loop accepts both frame revisions; DisableTrace
+		// pins it to strict v1, behaving exactly like a pre-tracing build.
+		var t wire.MsgType
+		var seq uint16
+		var th wire.TraceHeader
+		var payload []byte
+		var err error
+		if s.cfg.DisableTrace {
+			t, seq, payload, err = wire.ReadFrame(c.br, s.cfg.MaxFrame)
+		} else {
+			t, seq, th, payload, err = wire.ReadFrameAny(c.br, s.cfg.MaxFrame)
+		}
 		if err != nil {
 			// Includes io.EOF on clean hang-up and frame-level corruption —
 			// after a desync there is no way to resynchronize the stream.
 			return
 		}
+		tc := trace.Context{Trace: trace.TraceID(th.TraceID), Span: trace.SpanID(th.SpanID), Flags: th.Flags}
 		mBytesRx.Add(uint64(frameLen(payload)))
 		if m, ok := mRequests[t]; ok {
 			m.Inc()
@@ -78,17 +91,39 @@ func (s *Server) handleConn(nc net.Conn) {
 		case wire.MsgRegisterMatrix:
 			s.handleRegisterMatrix(c, seq, payload)
 		case wire.MsgApply:
-			s.handleApply(c, seq, payload)
+			s.handleApply(c, seq, tc, payload)
 		case wire.MsgTileApply:
-			s.handleTileApply(c, seq, payload)
+			s.handleTileApply(c, seq, tc, payload)
 		case wire.MsgRegistrySync:
 			s.handleRegistrySync(c, seq, payload)
+		case wire.MsgTraceHello:
+			if s.cfg.DisableTrace {
+				// A pre-tracing build does not know the message type.
+				c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "unexpected message type %d", t))
+				continue
+			}
+			s.handleTraceHello(c, seq, payload)
 		case wire.MsgPing:
 			c.send(wire.MsgPong, seq, payload)
 		default:
 			c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "unexpected message type %d", t))
 		}
 	}
+}
+
+// handleTraceHello acknowledges the trace-capability probe: this build
+// accepts version-2 (traced) request frames on any connection.
+func (s *Server) handleTraceHello(c *serverConn, seq uint16, payload []byte) {
+	h, err := wire.DecodeTraceHello(payload)
+	if err != nil {
+		c.sendErr(seq, wire.Errf(wire.CodeBadRequest, "trace hello: %v", err))
+		return
+	}
+	v := uint8(wire.FrameVersionTraced)
+	if h.MaxVersion < v {
+		v = h.MaxVersion
+	}
+	c.send(wire.MsgTraceHelloOK, seq, wire.TraceHelloOK{Version: v}.Encode())
 }
 
 // frameLen is the on-wire size of a frame with this payload.
@@ -257,7 +292,7 @@ func packRowsLog2(m, n int) uint8 {
 
 // handleApply decodes, validates, and admits one apply request; the
 // response is sent later by a batch worker.
-func (s *Server) handleApply(c *serverConn, seq uint16, payload []byte) {
+func (s *Server) handleApply(c *serverConn, seq uint16, tc trace.Context, payload []byte) {
 	s.mu.RLock()
 	haveKeys := s.haveKeys
 	s.mu.RUnlock()
@@ -305,8 +340,11 @@ func (s *Server) handleApply(c *serverConn, seq uint16, payload []byte) {
 		seq:      seq,
 		enqueued: now,
 		deadline: now.Add(budget),
+		tc:       tc,
 	}
+	_, req.qspan = trace.Start(tc, "server", "queue")
 	if e := s.admit(req); e != nil {
+		req.qspan.EndErr(e)
 		c.sendErr(seq, e)
 	}
 }
@@ -346,7 +384,7 @@ func (s *Server) ensureTiles(reg *regMatrix, tiles []uint32) *wire.Error {
 // handleTileApply serves the coordinator-facing tile-subset request: warm
 // requests prepare the tiles and acknowledge; compute requests are
 // admitted through the same queue/batcher as full applies.
-func (s *Server) handleTileApply(c *serverConn, seq uint16, payload []byte) {
+func (s *Server) handleTileApply(c *serverConn, seq uint16, tc trace.Context, payload []byte) {
 	s.mu.RLock()
 	haveKeys := s.haveKeys
 	s.mu.RUnlock()
@@ -407,8 +445,11 @@ func (s *Server) handleTileApply(c *serverConn, seq uint16, payload []byte) {
 		seq:      seq,
 		enqueued: now,
 		deadline: now.Add(budget),
+		tc:       tc,
 	}
+	_, req.qspan = trace.Start(tc, "server", "queue")
 	if e := s.admit(req); e != nil {
+		req.qspan.EndErr(e)
 		c.sendErr(seq, e)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
@@ -28,6 +29,8 @@ import (
 
 	"cham/internal/bfv"
 	"cham/internal/core"
+	"cham/internal/obs"
+	"cham/internal/obs/trace"
 	"cham/internal/rlwe"
 	rt "cham/internal/runtime"
 	"cham/internal/wire"
@@ -68,6 +71,15 @@ type Config struct {
 	// normally serves its own tile range can therefore take over any tile
 	// after a peer dies, paying the preparation cost only on failover.
 	LazyTiles bool
+	// DisableTrace pins the connection read loop to strict protocol
+	// revision 1 and rejects the MsgTraceHello capability probe, exactly
+	// like a pre-tracing build — the version-skew interop tests use it to
+	// stand in for an old server.
+	DisableTrace bool
+	// Log receives the server's structured logs (per-request records at
+	// Debug, lifecycle at Info; sampled requests carry their trace_id).
+	// Default: discard — binaries pass a handler configured by -log-level.
+	Log *slog.Logger
 }
 
 // withDefaults fills unset fields.
@@ -92,6 +104,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxFrame == 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.DiscardHandler)
 	}
 	return c, nil
 }
@@ -132,6 +147,8 @@ type request struct {
 	seq      uint16
 	enqueued time.Time
 	deadline time.Time
+	tc       trace.Context // propagated from the request frame's trace header
+	qspan    trace.Span    // admission → batch pickup (inert when unsampled)
 }
 
 // Server is a running chamserve instance.
@@ -197,6 +214,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // Shutdown). It returns nil on a clean shutdown.
 func (s *Server) Serve(ln net.Listener) error {
 	s.ln.Store(&ln)
+	s.cfg.Log.Info("server listening", "addr", ln.Addr().String())
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -232,6 +250,7 @@ func (s *Server) isDraining() bool {
 // close remaining connections. ctx bounds the wait; on expiry the error
 // is returned after connections are force-closed.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.cfg.Log.Info("server draining")
 	s.enqMu.Lock()
 	s.draining = true
 	s.enqMu.Unlock()
@@ -362,10 +381,13 @@ func (s *Server) runBatch(batch []*request) {
 	var latest time.Time
 	for _, req := range batch {
 		if now.After(req.deadline) {
+			req.qspan.Annotate("expired in queue")
+			req.qspan.End()
 			s.finishErr(req, wire.Errf(wire.CodeDeadline,
 				"deadline expired after %v in queue", now.Sub(req.enqueued).Round(time.Microsecond)))
 			continue
 		}
+		req.qspan.End()
 		mWaitSec.Observe(now.Sub(req.enqueued).Seconds())
 		if req.deadline.After(latest) {
 			latest = req.deadline
@@ -376,6 +398,20 @@ func (s *Server) runBatch(batch []*request) {
 		return
 	}
 	mBatchSize.Observe(float64(len(live)))
+
+	// One dispatch span per coalesced batch, hung under the first sampled
+	// request (coalescing merges requests from different traces; the batch
+	// has to pick one parent). It wraps the card job and every apply.
+	bctx := trace.Context{}
+	var bsp trace.Span
+	for _, req := range live {
+		if req.tc.Sampled() {
+			bctx, bsp = trace.Start(req.tc, "server", "dispatch")
+			bsp.Annotate(fmt.Sprintf("batch of %d", len(live)))
+			break
+		}
+	}
+	defer bsp.End()
 
 	if s.cfg.Card != nil {
 		// One descriptor job per coalesced batch: config-load, doorbell and
@@ -390,7 +426,7 @@ func (s *Server) runBatch(batch []*request) {
 				rows = r
 			}
 		}
-		ctx, cancel := context.WithDeadline(context.Background(), latest)
+		ctx, cancel := context.WithDeadline(trace.NewContext(context.Background(), bctx), latest)
 		err := s.cfg.Card.RunHMVPCtx(ctx, live[0].mat.descriptor(uint32(rows)))
 		cancel()
 		if err != nil {
@@ -413,13 +449,16 @@ func (s *Server) runBatch(batch []*request) {
 		}
 		t0 := time.Now()
 		mat := req.mat
+		sctx, ssp := trace.Start(req.tc, "server", "serve")
+		rec := trace.NewStageRecorder(sctx)
 		if req.tiles != nil {
-			s.runTileRequest(req, t0)
+			s.runTileRequest(req, t0, rec, &ssp)
 			continue
 		}
 		res := mat.getResult()
-		if err := mat.pm.ApplyInto(res, req.vec); err != nil {
+		if err := mat.pm.ApplyIntoSink(res, req.vec, sinkOf(rec)); err != nil {
 			mat.putResult(res)
+			ssp.EndErr(err)
 			s.finishErr(req, wire.Errf(wire.CodeBadRequest, "apply: %v", err))
 			continue
 		}
@@ -431,14 +470,31 @@ func (s *Server) runBatch(batch []*request) {
 		mat.putResult(res)
 		mServeSec.Observe(time.Since(t0).Seconds())
 		mApplies.Inc()
+		rec.Emit("kernel")
+		ssp.End()
+		if req.tc.Sampled() {
+			s.cfg.Log.Debug("apply served",
+				"trace_id", req.tc.Trace.String(),
+				"dur", time.Since(t0),
+				"rows", mat.handle.Rows)
+		}
 		s.finish(req, wire.MsgResult, payload)
 	}
+}
+
+// sinkOf converts a possibly-nil *StageRecorder into a StageSink without
+// producing a typed-nil interface (which the kernel would dereference).
+func sinkOf(rec *trace.StageRecorder) obs.StageSink {
+	if rec == nil {
+		return nil
+	}
+	return rec
 }
 
 // runTileRequest serves the tile-subset half of runBatch: only the listed
 // row tiles are computed, and they come back labelled so the coordinator
 // can place each at its index in the gathered result.
-func (s *Server) runTileRequest(req *request, t0 time.Time) {
+func (s *Server) runTileRequest(req *request, t0 time.Time, rec *trace.StageRecorder, ssp *trace.Span) {
 	p := s.cfg.Params
 	mat := req.mat
 	tiles := make([]int, len(req.tiles))
@@ -447,7 +503,8 @@ func (s *Server) runTileRequest(req *request, t0 time.Time) {
 		tiles[i] = int(ti)
 		out[i] = &rlwe.Ciphertext{B: p.R.NewPoly(p.NormalLevels), A: p.R.NewPoly(p.NormalLevels)}
 	}
-	if err := mat.pm.ApplyTiles(out, tiles, req.vec); err != nil {
+	if err := mat.pm.ApplyTilesSink(out, tiles, req.vec, sinkOf(rec)); err != nil {
+		ssp.EndErr(err)
 		s.finishErr(req, wire.Errf(wire.CodeBadRequest, "tile apply: %v", err))
 		return
 	}
@@ -460,6 +517,15 @@ func (s *Server) runTileRequest(req *request, t0 time.Time) {
 	mServeSec.Observe(time.Since(t0).Seconds())
 	mApplies.Inc()
 	mTilesServed.Add(uint64(len(req.tiles)))
+	rec.Emit("kernel")
+	ssp.Annotate(fmt.Sprintf("%d tiles", len(req.tiles)))
+	ssp.End()
+	if req.tc.Sampled() {
+		s.cfg.Log.Debug("tile apply served",
+			"trace_id", req.tc.Trace.String(),
+			"dur", time.Since(t0),
+			"tiles", len(req.tiles))
+	}
 	s.finish(req, wire.MsgTileResult, payload)
 }
 

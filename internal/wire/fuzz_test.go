@@ -248,6 +248,59 @@ func FuzzWireClusterDecode(f *testing.F) {
 	})
 }
 
+// FuzzWireTraceHeaderDecode covers the tracing extension: round-trip
+// identity for well-formed traced frames through ReadFrameAny, and
+// totality of the trace decoders over arbitrary bytes — truncated or
+// garbage trace blocks must error, never panic, and a v1 frame must
+// come back with a zero header.
+func FuzzWireTraceHeaderDecode(f *testing.F) {
+	th := TraceHeader{Flags: TraceFlagSampled}
+	for i := range th.TraceID {
+		th.TraceID[i] = byte(i + 1)
+	}
+	for i := range th.SpanID {
+		th.SpanID[i] = byte(0xa0 + i)
+	}
+	f.Add(AppendFrameTraced(nil, MsgApply, 7, th, []byte{1, 2, 3}), []byte{9, 9})
+	f.Add(AppendFrame(nil, MsgPing, 1, nil), []byte{})
+	f.Add(AppendTraceHeader(nil, th), []byte{0xff})
+	f.Add([]byte{0x43, 0x48, 0x57, 0x56, 2, 7, 0, 0, 0, 0, 0, 0}, []byte{1})
+	f.Fuzz(func(t *testing.T, data, body []byte) {
+		// Totality over arbitrary bytes.
+		_, _, _ = DecodeTraceHeader(data)
+		_, _ = DecodeTraceHello(data)
+		_, _ = DecodeTraceHelloOK(data)
+		_, _, _, _, _ = ReadFrameAny(bytes.NewReader(data), 1<<20)
+
+		// A v1 frame read by ReadFrameAny must agree with ReadFrame and
+		// carry no trace context.
+		v1 := AppendFrame(nil, MsgType(len(data)), uint16(len(body)), body)
+		t1, s1, p1, err1 := ReadFrame(bytes.NewReader(v1), 0)
+		t2, s2, h2, p2, err2 := ReadFrameAny(bytes.NewReader(v1), 0)
+		if (err1 == nil) != (err2 == nil) || t1 != t2 || s1 != s2 || !h2.IsZero() || !bytes.Equal(p1, p2) {
+			t.Fatalf("v1 frame disagreement: %v vs %v", err1, err2)
+		}
+
+		// Traced round trip: header and body must come back exactly.
+		var hdr TraceHeader
+		copy(hdr.TraceID[:], data)
+		copy(hdr.SpanID[:], body)
+		hdr.Flags = TraceFlagSampled
+		frame := AppendFrameTraced(nil, MsgTileApply, 3, hdr, body)
+		gt, gs, gh, gp, err := ReadFrameAny(bytes.NewReader(frame), 0)
+		if err != nil {
+			t.Fatalf("traced round trip failed: %v", err)
+		}
+		if gt != MsgTileApply || gs != 3 || gh != hdr || !bytes.Equal(gp, body) {
+			t.Fatal("traced frame changed in flight")
+		}
+		// And a strict v1 reader must refuse the revision, not panic.
+		if _, _, _, err := ReadFrame(bytes.NewReader(frame), 0); err == nil {
+			t.Fatal("v1 reader accepted a traced frame")
+		}
+	})
+}
+
 // FuzzWireDecode throws arbitrary bytes at every decoder: truncated,
 // oversized, bit-flipped, or garbage frames must yield an error (or a
 // semantically valid object), never a panic, and never a huge allocation

@@ -63,6 +63,8 @@ const (
 	MsgTileResult     MsgType = 13 // shard → coordinator: packed tiles for the subset
 	MsgRegistrySync   MsgType = 14 // peer → node: pull or push of the matrix registry
 	MsgRegistryState  MsgType = 15 // node → peer: installed keys + matrix payloads
+	MsgTraceHello     MsgType = 16 // client → server: trace-capability probe (see trace.go)
+	MsgTraceHelloOK   MsgType = 17 // server → client: traced frames accepted
 )
 
 // String names the type for diagnostics.
@@ -98,6 +100,10 @@ func (t MsgType) String() string {
 		return "RegistrySync"
 	case MsgRegistryState:
 		return "RegistryState"
+	case MsgTraceHello:
+		return "TraceHello"
+	case MsgTraceHelloOK:
+		return "TraceHelloOK"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
