@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-diff tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke cluster-smoke trace-smoke
+.PHONY: check vet build test race bench bench-diff tier2 fuzz vet-strict obs-race metrics-smoke serve-smoke cluster-smoke trace-smoke np-smoke
 
 # Tier-1 gate: everything a PR must keep green.
 check: vet build race
@@ -23,16 +23,19 @@ race:
 # path depends on, the telemetry layer under the race detector, and the
 # warm-path performance diff against the committed baseline.
 # Benchmarks only run on a tree that has passed it.
-tier2: race fuzz vet-strict obs-race serve-smoke cluster-smoke trace-smoke bench-diff
+tier2: race fuzz vet-strict obs-race serve-smoke cluster-smoke trace-smoke np-smoke bench-diff
 
 # Warm-path regression gate: re-measure the chambench shapes and fail if
 # any Prepared/warm or Pack/warm ns/op regresses >10% over the committed
 # BENCH_hmvp.json or the warm path allocates, then re-measure the sharded
 # tier and fail if the 2-shard aggregate speedup drops below the 1.6x
-# floor or regresses >25% against the committed cluster section.
+# floor or regresses >25% against the committed cluster section, then
+# re-measure the chamnp array tier and fail if the warm batched MatMul
+# allocates or its ns/op regresses >10% over the committed np section.
 bench-diff:
 	$(GO) run ./cmd/chambench -compare BENCH_hmvp.json
 	$(GO) run ./cmd/chambench -cluster -compare BENCH_hmvp.json
+	$(GO) run ./cmd/chambench -np -compare BENCH_hmvp.json
 
 obs-race:
 	$(GO) vet ./internal/obs
@@ -54,6 +57,7 @@ fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireClusterDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireTraceHeaderDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzShardRouter$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/chamnp -run '^$$' -fuzz '^FuzzEncMatrixShapes$$' -fuzztime $(FUZZTIME)
 
 # End-to-end check of the live telemetry endpoint: boot chamsim with
 # -metrics, scrape it, and require the stage-latency family.
@@ -105,6 +109,14 @@ trace-smoke:
 cluster-smoke:
 	$(GO) run ./examples/cluster
 	$(GO) build -o /tmp/chamcluster-smoke ./cmd/chamcluster
+
+# End-to-end check of the chamnp array tier: the matmul example proves
+# the prepared-once/transpose-free batched product (local + loopback
+# chamserve, bit-exact vs the big.Int reference), and the inference
+# example pushes a batch through the two-layer network on both backends.
+np-smoke:
+	$(GO) run ./examples/matmul -n 128 -batch 3
+	$(GO) run ./examples/inference -n 128 -batch 2
 
 # Hot-path benchmarks + the machine-readable BENCH_hmvp.json report.
 bench: tier2 metrics-smoke

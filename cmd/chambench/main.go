@@ -44,6 +44,8 @@ type report struct {
 	Remote *remoteResult `json:"remote,omitempty"`
 	// Cluster holds the sharded-tier numbers when -cluster is set.
 	Cluster *clusterResult `json:"cluster,omitempty"`
+	// Np holds the encrypted-array-tier numbers when -np is set.
+	Np *npResult `json:"np,omitempty"`
 	// Telemetry is the obs registry snapshot from one instrumented apply
 	// per shape, run after the timed benchmarks (which execute with
 	// telemetry off so the numbers stay undisturbed).
@@ -174,6 +176,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline report to diff against: re-run the shapes, exit nonzero if warm ns_per_op regresses >10% or warm allocs_per_op leaves 0; writes no report")
 	workers := flag.Int("workers", 0, "evaluator worker goroutines (0 = GOMAXPROCS)")
 	clusterMode := flag.Bool("cluster", false, "benchmark the sharded tier instead: in-process fleets of 1/2/4 shard nodes, aggregate rows/s, and p99 under 1000 simulated clients; fails if 2 shards clear <1.6x over 1")
+	npMode := flag.Bool("np", false, "benchmark the chamnp array tier instead: warm batched MatMul rows/s at single- and multi-chunk shapes plus per-layer inference latency; with -compare, fails if warm MatMul allocates or regresses >10%")
 	remote := flag.String("remote", "", `benchmark the serving tier instead: "self" spins up loopback servers in-process, host:port targets a running chamserve`)
 	remoteN := flag.Int("remote-n", 256, "ring degree for -remote mode (must match an external server)")
 	clients := flag.Int("clients", 64, "concurrent clients for the -remote throughput measurement")
@@ -209,6 +212,33 @@ func main() {
 				fmt.Fprintln(os.Stderr, "chambench:", err)
 				os.Exit(1)
 			}
+		}
+		return
+	}
+
+	if *npMode {
+		nr, err := runNp(*workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chambench:", err)
+			os.Exit(1)
+		}
+		if *compare != "" {
+			base, err := readNpBaseline(*compare)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chambench:", err)
+				os.Exit(1)
+			}
+			if err := compareNp(base, nr); err != nil {
+				fmt.Fprintln(os.Stderr, "chambench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		// Merge, as -cluster does: keep the warm-path rows and any other
+		// sections the regular runs committed to the report.
+		if err := mergeNpReport(*out, nr); err != nil {
+			fmt.Fprintln(os.Stderr, "chambench:", err)
+			os.Exit(1)
 		}
 		return
 	}

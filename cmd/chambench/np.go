@@ -1,0 +1,297 @@
+package main
+
+// chambench -np: the encrypted-array tier's numbers. Measures the warm
+// MatMulInto hot path (one PreparedMatrix driving a whole batch of
+// column blocks, allocation-free after warm-up) at the single-chunk and
+// multi-chunk regimes, plus the per-layer latency of the two-layer
+// chamnp inference pipeline. Results merge into BENCH_hmvp.json under
+// "np" and are gated by `chambench -np -compare` (make bench-diff):
+// warm MatMul allocs must stay 0 and ns/op within 10% of the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"cham"
+	"cham/internal/chamnp"
+	"cham/internal/ref"
+)
+
+type npLayer struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+type npResult struct {
+	// MatMul holds the warm MatMulInto rows; Rows/Cols describe the
+	// OUTPUT matrix (prepared rows × batch), RowsPerSec counts decrypted
+	// result values per second.
+	MatMul []result `json:"matmul"`
+	// InferenceLayers is the per-layer latency (best of several runs) of
+	// the matmul→bias→square→matmul→bias pipeline at N=256.
+	InferenceLayers []npLayer `json:"inference_layers"`
+	InferenceMillis float64   `json:"inference_total_millis"`
+}
+
+// runNpShape measures one warm batched matmul: W is rows×cols prepared
+// once, X is cols×batch encrypted column-major, and the timed op is
+// MatMulInto into a preallocated result.
+func runNpShape(ringN, rows, cols, batch, workers int) (result, error) {
+	params, err := cham.NewParams(ringN)
+	if err != nil {
+		return result{}, err
+	}
+	rng := cham.NewRNG(137)
+	sk := params.KeyGen(rng)
+	ev, err := cham.NewEvaluator(params, rng, sk, rows)
+	if err != nil {
+		return result{}, err
+	}
+	ev.Workers = workers
+	W := make([][]uint64, rows)
+	for i := range W {
+		W[i] = make([]uint64, cols)
+		for j := range W[i] {
+			W[i][j] = rng.Uint64() % params.T.Q
+		}
+	}
+	X := make([][]uint64, cols)
+	for i := range X {
+		X[i] = make([]uint64, batch)
+		for j := range X[i] {
+			X[i][j] = rng.Uint64() % params.T.Q
+		}
+	}
+	pm, err := ev.Prepare(W)
+	if err != nil {
+		return result{}, err
+	}
+	b := chamnp.Local(pm)
+	xm, err := chamnp.Array(params, rng, sk, X, chamnp.ColMajor)
+	if err != nil {
+		return result{}, err
+	}
+	dst, err := chamnp.NewMatMulResult(b, xm)
+	if err != nil {
+		return result{}, err
+	}
+	// Correctness gate before timing: the warm output must match the
+	// exact reference product.
+	if err := chamnp.MatMulInto(b, dst, xm); err != nil {
+		return result{}, err
+	}
+	want, err := ref.MatMul(params.T.Q, W, X)
+	if err != nil {
+		return result{}, err
+	}
+	for i, row := range dst.Decrypt(sk) {
+		for j, got := range row {
+			if got != want[i][j] {
+				return result{}, fmt.Errorf("np N=%d: verification failed at [%d][%d]", ringN, i, j)
+			}
+		}
+	}
+	name := fmt.Sprintf("NpMatMul/warm/N=%d", ringN)
+	return bench(name, ringN, rows*batch, cols, func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			if err := chamnp.MatMulInto(b, dst, xm); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	}), nil
+}
+
+// runNpInference times each layer of the two-layer pipeline (best of
+// npInferenceRuns passes — layer latencies jitter, the best run is the
+// reproducible one).
+func runNpInference(workers int) ([]npLayer, float64, error) {
+	const ringN, hidden, classes, batch = 256, 16, 10, 3
+	params, err := cham.NewParams(ringN)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := cham.NewRNG(211)
+	sk := params.KeyGen(rng)
+	ev, err := cham.NewEvaluator(params, rng, sk, params.R.N)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev.Workers = workers
+	randMat := func(m, n int) [][]uint64 {
+		out := make([][]uint64, m)
+		for i := range out {
+			out[i] = make([]uint64, n)
+			for j := range out[i] {
+				out[i][j] = rng.Uint64() % params.T.Q
+			}
+		}
+		return out
+	}
+	W1, W2 := randMat(hidden, ringN), randMat(classes, hidden)
+	b1 := make([]uint64, hidden)
+	b2 := make([]uint64, classes)
+	X := randMat(ringN, batch)
+	pm1, err := ev.Prepare(W1)
+	if err != nil {
+		return nil, 0, err
+	}
+	pm2, err := ev.Prepare(W2)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	names := []string{"matmul1", "bias1", "square_recrypt", "matmul2", "bias2"}
+	best := make([]float64, len(names))
+	const npInferenceRuns = 5
+	for run := 0; run < npInferenceRuns; run++ {
+		x, err := chamnp.Array(params, rng, sk, X, chamnp.ColMajor)
+		if err != nil {
+			return nil, 0, err
+		}
+		steps := []func(h *chamnp.EncMatrix) (*chamnp.EncMatrix, error){
+			func(*chamnp.EncMatrix) (*chamnp.EncMatrix, error) { return chamnp.MatMul(chamnp.Local(pm1), x) },
+			func(h *chamnp.EncMatrix) (*chamnp.EncMatrix, error) { return h.AddVector(b1) },
+			func(h *chamnp.EncMatrix) (*chamnp.EncMatrix, error) { return h.SquareRecrypt(rng, sk) },
+			func(h *chamnp.EncMatrix) (*chamnp.EncMatrix, error) { return chamnp.MatMul(chamnp.Local(pm2), h) },
+			func(h *chamnp.EncMatrix) (*chamnp.EncMatrix, error) { return h.AddVector(b2) },
+		}
+		var h *chamnp.EncMatrix
+		for i, step := range steps {
+			t0 := time.Now()
+			if h, err = step(h); err != nil {
+				return nil, 0, fmt.Errorf("inference %s: %w", names[i], err)
+			}
+			ms := float64(time.Since(t0)) / float64(time.Millisecond)
+			if run == 0 || ms < best[i] {
+				best[i] = ms
+			}
+		}
+	}
+	layers := make([]npLayer, len(names))
+	total := 0.0
+	for i, name := range names {
+		layers[i] = npLayer{Name: name, Millis: best[i]}
+		total += best[i]
+	}
+	return layers, total, nil
+}
+
+func runNp(workers int) (*npResult, error) {
+	nr := &npResult{}
+	for _, sh := range []struct{ n, rows, cols, batch int }{
+		{256, 64, 256, 8},  // single chunk per lane, 8 column blocks
+		{512, 128, 1024, 4}, // multi-chunk: 2 vector ciphertexts per lane
+	} {
+		r, err := runNpShape(sh.n, sh.rows, sh.cols, sh.batch, workers)
+		if err != nil {
+			return nil, err
+		}
+		nr.MatMul = append(nr.MatMul, r)
+		fmt.Printf("%-22s %12.0f ns/op %8d allocs/op %10.0f rows/s  (batch %d)\n",
+			r.Name, r.NsPerOp, r.AllocsOp, r.RowsPerSec, sh.batch)
+	}
+	layers, total, err := runNpInference(workers)
+	if err != nil {
+		return nil, err
+	}
+	nr.InferenceLayers, nr.InferenceMillis = layers, total
+	for _, l := range layers {
+		fmt.Printf("  inference %-16s %8.3f ms\n", l.Name, l.Millis)
+	}
+	fmt.Printf("  inference total         %8.3f ms\n", total)
+	return nr, nil
+}
+
+// mergeNpReport writes the np section into the report at path,
+// preserving every other section (cluster.go's merge pattern).
+func mergeNpReport(path string, nr *npResult) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("parsing existing report %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	section, err := json.Marshal(nr)
+	if err != nil {
+		return err
+	}
+	doc["np"] = section
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote np section into %s\n", path)
+	return nil
+}
+
+// readNpBaseline pulls the np section out of a committed report; a
+// baseline without one is not an error (first run).
+func readNpBaseline(path string) (*npResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base struct {
+		Np *npResult `json:"np"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return base.Np, nil
+}
+
+// compareNp gates the warm array-tier matmul against a committed
+// baseline: allocs/op must be 0 unconditionally, and ns/op must stay
+// within maxWarmRegression of the baseline row when one exists.
+func compareNp(baseline, cur *npResult) error {
+	baseByName := map[string]result{}
+	if baseline != nil {
+		for _, r := range baseline.MatMul {
+			baseByName[r.Name] = r
+		}
+	} else {
+		fmt.Println("np bench-diff: baseline has no np section; alloc check only")
+	}
+	var failures []string
+	for _, r := range cur.MatMul {
+		if !strings.HasPrefix(r.Name, "NpMatMul/warm") {
+			continue
+		}
+		if r.AllocsOp != 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, want 0 (warm matmul must stay allocation-free)",
+				r.Name, r.AllocsOp))
+		}
+		b, ok := baseByName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("  %-22s %12.0f ns/op  (no baseline row)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > maxWarmRegression {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx > %.2fx budget)",
+				r.Name, b.NsPerOp, r.NsPerOp, ratio, maxWarmRegression))
+		}
+		fmt.Printf("  %-22s %12.0f -> %12.0f ns/op  (%.3fx)  %s\n", r.Name, b.NsPerOp, r.NsPerOp, ratio, status)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "chambench: FAIL:", f)
+		}
+		return fmt.Errorf("%d np warm-path failure(s)", len(failures))
+	}
+	fmt.Println("np bench-diff clean: warm matmul allocation-free and within budget")
+	return nil
+}

@@ -1,81 +1,173 @@
-// Inference: Delphi-style private neural-network inference. The offline
-// phase generates one Beaver triple per linear layer with a CHAM HMVP;
-// the online phase evaluates the network on secret shares with no
-// homomorphic operations at all — the split that makes the paper's
-// triple-generation speed-up matter.
+// Inference: multi-layer private inference on the chamnp array tier. A
+// batch of inputs is encrypted column-major and pushed through a
+// CryptoNets-style two-layer network entirely as array ops:
+//
+//	h   = square(W1·X + b1)      (square is the interactive recrypt hop)
+//	out = W2·h + b2
+//
+// Each linear layer is one chamnp.MatMul — the prepared weight matrix
+// drives every column of the batch through the batched HMVP surface —
+// and the bias add lands directly on the packed outputs at their
+// strided slots. The non-linear layer is the Delphi-style client hop:
+// decrypt, square mod t, re-encrypt (B/FV without relinearization has
+// no ciphertext×ciphertext product, and the client holds the key
+// anyway). The whole pipeline is verified bit-exact against the same
+// composition over the big.Int reference matmul, then re-run with the
+// linear layers routed through a loopback chamserve instance.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"time"
 
 	"cham"
-	"cham/internal/apps/beaver"
-	"cham/internal/apps/inference"
+	"cham/internal/chamnp"
+	"cham/internal/client"
+	"cham/internal/core"
+	"cham/internal/lwe"
+	"cham/internal/ref"
+	"cham/internal/server"
 )
 
 func main() {
+	n := flag.Int("n", 256, "ring degree (power of two)")
+	batch := flag.Int("batch", 3, "inputs inferred at once (encrypted column blocks)")
+	hidden := flag.Int("hidden", 16, "hidden layer width")
+	classes := flag.Int("classes", 10, "output classes")
 	workers := flag.Int("workers", 0, "HMVP worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
-	params := cham.MustParams(64)
-	rng := cham.NewRNG(11)
+
+	params := cham.MustParams(*n)
+	rng := cham.NewRNG(31)
 	sk := params.KeyGen(rng)
-	gen, err := beaver.NewGenerator(params, rng, sk, 64)
+	keys, err := lwe.GenPackingKeys(params, rng, sk, params.R.N)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gen.Ev.Workers = *workers
+	T := params.T
 
-	// A 8-16-4 MLP with random weights (stand-in for a trained model).
-	dims := []int{8, 16, 4}
-	var weights [][][]float64
-	var biases [][]float64
-	for l := 1; l < len(dims); l++ {
-		w := make([][]float64, dims[l])
-		for i := range w {
-			w[i] = make([]float64, dims[l-1])
-			for j := range w[i] {
-				w[i][j] = rng.Float64()*2 - 1
+	randMat := func(m, n int) [][]uint64 {
+		out := make([][]uint64, m)
+		for i := range out {
+			out[i] = make([]uint64, n)
+			for j := range out[i] {
+				out[i][j] = rng.Uint64() % T.Q
 			}
 		}
-		weights = append(weights, w)
-		biases = append(biases, make([]float64, dims[l]))
+		return out
 	}
-	nw, err := inference.NewNetwork(params, 4, weights, biases)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("offline phase: one CHAM HMVP per linear layer...")
-	pre, err := nw.Preprocess(gen, rng, sk)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  %d layers preprocessed\n", len(pre.Client))
-
-	fmt.Println("online phase: share arithmetic only (no HE):")
-	for trial := 0; trial < 3; trial++ {
-		x := make([]float64, dims[0])
-		for i := range x {
-			x[i] = rng.Float64()*2 - 1
+	randVec := func(n int) []uint64 {
+		v := make([]uint64, n)
+		for i := range v {
+			v[i] = rng.Uint64() % T.Q
 		}
-		private, err := nw.Infer(pre, x)
+		return v
+	}
+
+	// Random stand-in weights for a d0 → hidden → classes network.
+	d0 := *n
+	W1, b1 := randMat(*hidden, d0), randVec(*hidden)
+	W2, b2 := randMat(*classes, *hidden), randVec(*classes)
+	X := randMat(d0, *batch)
+
+	// Cleartext reference: the identical composition over ref.MatMul.
+	want, err := ref.MatMul(T.Q, W1, X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			a := T.Add(want[i][j], b1[i])
+			want[i][j] = T.Mul(a, a)
+		}
+	}
+	if want, err = ref.MatMul(T.Q, W2, want); err != nil {
+		log.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			want[i][j] = T.Add(want[i][j], b2[i])
+		}
+	}
+
+	// run pushes the encrypted batch through the network on the given
+	// backends, printing per-layer latency.
+	run := func(tag string, l1, l2 chamnp.Backend) {
+		x, err := chamnp.Array(params, rng, sk, X, chamnp.ColMajor)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ref := nw.InferFloat(x)
-		fmt.Printf("  input %d: private argmax=%d, float argmax=%d (logits %.3f vs %.3f)\n",
-			trial, argmax(private), argmax(ref), private[argmax(private)], ref[argmax(ref)])
-	}
-}
-
-func argmax(v []float64) int {
-	best := 0
-	for i, x := range v {
-		if x > v[best] {
-			best = i
+		step := func(name string, f func() (*chamnp.EncMatrix, error)) *chamnp.EncMatrix {
+			t0 := time.Now()
+			out, err := f()
+			if err != nil {
+				log.Fatalf("%s %s: %v", tag, name, err)
+			}
+			fmt.Printf("  %-7s %-12s %8v  noise %5.1f bits\n",
+				tag, name, time.Since(t0).Round(time.Microsecond), out.NoiseBits())
+			return out
 		}
+		h := step("matmul1", func() (*chamnp.EncMatrix, error) { return chamnp.MatMul(l1, x) })
+		h = step("bias1", func() (*chamnp.EncMatrix, error) { return h.AddVector(b1) })
+		h = step("square", func() (*chamnp.EncMatrix, error) { return h.SquareRecrypt(rng, sk) })
+		h = step("matmul2", func() (*chamnp.EncMatrix, error) { return chamnp.MatMul(l2, h) })
+		h = step("bias2", func() (*chamnp.EncMatrix, error) { return h.AddVector(b2) })
+		got := h.Decrypt(sk)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					log.Fatalf("%s: [%d][%d] = %d, want %d", tag, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+		fmt.Printf("  %s: %d-input batch matches the big.Int reference composition\n", tag, *batch)
 	}
-	return best
+
+	// --- leg 1: in-process evaluator.
+	ev, err := core.NewEvaluatorFromKeys(params, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev.Workers = *workers
+	pm1, err := ev.Prepare(W1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm2, err := ev.Prepare(W2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network %d → %d → %d, batch %d, N=%d\n", d0, *hidden, *classes, *batch, *n)
+	run("local", chamnp.Local(pm1), chamnp.Local(pm2))
+
+	// --- leg 2: both linear layers served by a loopback chamserve.
+	srv, err := server.New(server.Config{Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	cl, err := client.Dial(client.Config{Addr: ln.Addr().String(), Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.SetupKeys(keys); err != nil {
+		log.Fatal(err)
+	}
+	h1, err := cl.RegisterMatrix(W1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2, err := cl.RegisterMatrix(W2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("remote", chamnp.Remote(cl, h1, params), chamnp.Remote(cl, h2, params))
 }

@@ -1,0 +1,636 @@
+package chamnp
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"cham/internal/bfv"
+	"cham/internal/core"
+	"cham/internal/ref"
+	"cham/internal/rlwe"
+	"cham/internal/testutil"
+
+	"math/rand"
+)
+
+func setup(tb testing.TB, n int) (bfv.Params, *rand.Rand, *rlwe.SecretKey, *core.Evaluator) {
+	tb.Helper()
+	p, err := bfv.NewChamParams(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := testutil.NewRand(tb)
+	sk := p.KeyGen(rng)
+	ev, err := core.NewEvaluator(p, rng, sk, p.R.N)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p, rng, sk, ev
+}
+
+func eqMat(tb testing.TB, name string, got, want [][]uint64) {
+	tb.Helper()
+	if len(got) != len(want) {
+		tb.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				tb.Fatalf("%s: [%d][%d] = %d, want %d", name, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// packedEqual compares two packed matrices ciphertext-by-ciphertext.
+func packedEqual(a, b *EncMatrix) bool {
+	if len(a.lanes) != len(b.lanes) {
+		return false
+	}
+	for li := range a.lanes {
+		ra, rb := a.lanes[li].packed, b.lanes[li].packed
+		if ra.M != rb.M || len(ra.Packed) != len(rb.Packed) {
+			return false
+		}
+		for ti := range ra.Packed {
+			if !reflect.DeepEqual(ra.Packed[ti].B.Coeffs, rb.Packed[ti].B.Coeffs) ||
+				!reflect.DeepEqual(ra.Packed[ti].A.Coeffs, rb.Packed[ti].A.Coeffs) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestArrayRoundTrip: encrypt/decrypt is the identity for both layouts,
+// including lanes longer than the ring degree (multi-chunk).
+func TestArrayRoundTrip(t *testing.T) {
+	p, rng, sk, _ := setup(t, 64)
+	for _, tc := range []struct {
+		name       string
+		rows, cols int
+		layout     Layout
+	}{
+		{"row-major", 5, 9, RowMajor},
+		{"col-major", 9, 5, ColMajor},
+		{"row-major multi-chunk", 3, 70, RowMajor}, // 70 > N=64: 2 chunks per lane
+		{"col-major multi-chunk", 70, 3, ColMajor},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data := testutil.Matrix(rng, tc.rows, tc.cols, p.T.Q)
+			m, err := Array(p, rng, sk, data, tc.layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r, c := m.Dims(); r != tc.rows || c != tc.cols {
+				t.Fatalf("dims %dx%d, want %dx%d", r, c, tc.rows, tc.cols)
+			}
+			if m.Packed() {
+				t.Fatal("fresh array reports packed")
+			}
+			if m.NoiseBits() <= 0 {
+				t.Fatalf("fresh noise %f, want positive", m.NoiseBits())
+			}
+			eqMat(t, "round trip", m.Decrypt(sk), data)
+		})
+	}
+}
+
+// TestVectorRoundTrip covers the 1-D constructor, including multi-chunk.
+func TestVectorRoundTrip(t *testing.T) {
+	p, rng, sk, _ := setup(t, 64)
+	for _, n := range []int{1, 64, 129} {
+		v := testutil.Vector(rng, n, p.T.Q)
+		ev, err := Vector(p, rng, sk, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ev.Decrypt(sk)
+		if len(got) != n {
+			t.Fatalf("len %d, want %d", len(got), n)
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				t.Fatalf("n=%d: [%d] = %d, want %d", n, i, got[i], v[i])
+			}
+		}
+	}
+}
+
+// TestTransposeView: T() flips dims and layout without copying, and
+// decrypts to the transposed cleartext.
+func TestTransposeView(t *testing.T) {
+	p, rng, sk, _ := setup(t, 64)
+	data := testutil.Matrix(rng, 4, 7, p.T.Q)
+	m, err := Array(p, rng, sk, data, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := m.T()
+	if r, c := mt.Dims(); r != 7 || c != 4 {
+		t.Fatalf("T dims %dx%d, want 7x4", r, c)
+	}
+	if mt.Layout() != ColMajor {
+		t.Fatalf("T layout %s, want col-major", mt.Layout())
+	}
+	if &mt.lanes[0].chunks[0] == &m.lanes[0].chunks[0] {
+		// same backing lanes — this is the point; just assert sharing holds
+	}
+	eqMat(t, "transpose", mt.Decrypt(sk), ref.Transpose(data))
+	eqMat(t, "double transpose", mt.T().Decrypt(sk), data)
+}
+
+// TestElementwiseOps checks Add/Sub/ScalarMul/AddVector/CumSum against
+// cleartext arithmetic mod t, and that operands are never mutated.
+func TestElementwiseOps(t *testing.T) {
+	p, rng, sk, _ := setup(t, 64)
+	T := p.T
+	da := testutil.Matrix(rng, 4, 6, p.T.Q)
+	db := testutil.Matrix(rng, 4, 6, p.T.Q)
+	a, err := Array(p, rng, sk, da, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Array(p, rng, sk, db, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	apply := func(f func(x, y uint64) uint64) [][]uint64 {
+		out := make([][]uint64, len(da))
+		for i := range da {
+			out[i] = make([]uint64, len(da[i]))
+			for j := range da[i] {
+				out[i][j] = f(da[i][j], db[i][j])
+			}
+		}
+		return out
+	}
+
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqMat(t, "add", sum.Decrypt(sk), apply(T.Add))
+	if sum.NoiseBits() <= a.NoiseBits() {
+		t.Fatalf("add noise %f not above operand %f", sum.NoiseBits(), a.NoiseBits())
+	}
+
+	diff, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqMat(t, "sub", diff.Decrypt(sk), apply(T.Sub))
+
+	sm, err := a.ScalarMul(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqMat(t, "scalar mul", sm.Decrypt(sk), apply(func(x, _ uint64) uint64 { return T.Mul(x, 3) }))
+	if want := a.NoiseBits() + math.Log2(3); math.Abs(sm.NoiseBits()-want) > 1e-9 {
+		t.Fatalf("×3 noise %f, want %f", sm.NoiseBits(), want)
+	}
+
+	// t-1 is centered -1: exact negation at one doubling of nothing —
+	// noise must NOT grow by log2(t-1).
+	neg, err := a.ScalarMul(T.Q - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqMat(t, "scalar mul t-1", neg.Decrypt(sk), apply(func(x, _ uint64) uint64 { return T.Neg(x) }))
+	if neg.NoiseBits() != a.NoiseBits() {
+		t.Fatalf("×(t-1) noise %f, want unchanged %f", neg.NoiseBits(), a.NoiseBits())
+	}
+
+	bias := testutil.Vector(rng, 6, p.T.Q)
+	ab, err := a.AddVector(bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBias := make([][]uint64, len(da))
+	for i := range da {
+		wantBias[i] = make([]uint64, len(da[i]))
+		for j := range da[i] {
+			wantBias[i][j] = T.Add(da[i][j], bias[j])
+		}
+	}
+	eqMat(t, "add vector", ab.Decrypt(sk), wantBias)
+
+	cs, err := a.CumSum(0) // RowMajor: axis 0 crosses lanes
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCS := make([][]uint64, len(da))
+	for i := range da {
+		wantCS[i] = make([]uint64, len(da[i]))
+		for j := range da[i] {
+			wantCS[i][j] = da[i][j]
+			if i > 0 {
+				wantCS[i][j] = T.Add(wantCS[i-1][j], da[i][j])
+			}
+		}
+	}
+	eqMat(t, "cumsum", cs.Decrypt(sk), wantCS)
+
+	// Operands were never mutated by any of the above.
+	eqMat(t, "a unchanged", a.Decrypt(sk), da)
+	eqMat(t, "b unchanged", b.Decrypt(sk), db)
+}
+
+// TestMatMulMatchesRef: both layouts, multi-tile (rows > N) and
+// multi-chunk (cols > N) prepared matrix, decrypted output must equal
+// the exact big.Int reference.
+func TestMatMulMatchesRef(t *testing.T) {
+	p, rng, sk, ev := setup(t, 64)
+	W := testutil.Matrix(rng, 70, 96, p.T.Q) // 2 tiles × 2 chunks at N=64
+	pm, err := ev.Prepare(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("col-major W·X", func(t *testing.T) {
+		X := testutil.Matrix(rng, 96, 3, p.T.Q)
+		xm, err := Array(p, rng, sk, X, ColMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := MatMul(Local(pm), xm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, c := out.Dims(); r != 70 || c != 3 {
+			t.Fatalf("dims %dx%d, want 70x3", r, c)
+		}
+		if !out.Packed() {
+			t.Fatal("matmul output not packed")
+		}
+		want, err := ref.MatMul(p.T.Q, W, X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqMat(t, "W·X", out.Decrypt(sk), want)
+		if out.NoiseBits() <= 0 || out.NoiseBits() > out.BudgetBits() {
+			t.Fatalf("output noise %f outside (0, %f]", out.NoiseBits(), out.BudgetBits())
+		}
+	})
+
+	t.Run("row-major X·Wt", func(t *testing.T) {
+		X := testutil.Matrix(rng, 3, 96, p.T.Q)
+		xm, err := Array(p, rng, sk, X, RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := MatMul(Local(pm), xm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, c := out.Dims(); r != 3 || c != 70 {
+			t.Fatalf("dims %dx%d, want 3x70", r, c)
+		}
+		want, err := ref.MatMul(p.T.Q, X, ref.Transpose(W))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqMat(t, "X·Wt", out.Decrypt(sk), want)
+	})
+}
+
+// TestMatMulPreparedReuse: ONE Prepare serves many column blocks and
+// both layouts; repeated warm applies and any worker count produce
+// bit-identical packed ciphertexts (the core engine's determinism
+// surfaced through the array tier).
+func TestMatMulPreparedReuse(t *testing.T) {
+	p, rng, sk, ev := setup(t, 64)
+	W := testutil.Matrix(rng, 40, 64, p.T.Q)
+	pm, err := ev.Prepare(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Local(pm)
+
+	// Same prepared matrix, both layouts.
+	Xc := testutil.Matrix(rng, 64, 8, p.T.Q) // 8 column blocks
+	Xr := testutil.Matrix(rng, 8, 64, p.T.Q)
+	xc, err := Array(p, rng, sk, Xc, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr, err := Array(p, rng, sk, Xr, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, err := ref.MatMul(p.T.Q, W, Xc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR, err := ref.MatMul(p.T.Q, Xr, ref.Transpose(W))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		ev.Workers = workers
+		outC, err := MatMul(b, xc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqMat(t, "col-major", outC.Decrypt(sk), wantC)
+		outR, err := MatMul(b, xr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqMat(t, "row-major", outR.Decrypt(sk), wantR)
+
+		// Warm reuse: apply again into a preallocated result — the packed
+		// ciphertexts must be bit-identical to the fresh run.
+		dst, err := NewMatMulResult(b, xc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if err := MatMulInto(b, dst, xc); err != nil {
+				t.Fatal(err)
+			}
+			if !packedEqual(dst, outC) {
+				t.Fatalf("workers=%d warm apply %d diverged from fresh result", workers, i)
+			}
+		}
+	}
+}
+
+// TestMatVec: W·v through the 1-D surface equals the cleartext mat-vec.
+func TestMatVec(t *testing.T) {
+	p, rng, sk, ev := setup(t, 64)
+	W := testutil.Matrix(rng, 20, 30, p.T.Q)
+	v := testutil.Vector(rng, 30, p.T.Q)
+	pm, err := ev.Prepare(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := Vector(p, rng, sk, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MatVec(Local(pm), ev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Packed() {
+		t.Fatal("matvec output not packed")
+	}
+	want := core.PlainMatVec(p, W, v)
+	got := out.Decrypt(sk)
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPackedOps: the elementwise ops compose with packed MatMul outputs
+// — bias add at the strided slots, scalar mul, packed+packed add.
+func TestPackedOps(t *testing.T) {
+	p, rng, sk, ev := setup(t, 64)
+	T := p.T
+	W := testutil.Matrix(rng, 70, 64, p.T.Q) // 2 tiles: strides differ per tile
+	X := testutil.Matrix(rng, 64, 2, p.T.Q)
+	pm, err := ev.Prepare(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xm, err := Array(p, rng, sk, X, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := MatMul(Local(pm), xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WX, err := ref.MatMul(p.T.Q, W, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bias := testutil.Vector(rng, 70, p.T.Q)
+	yb, err := y.AddVector(bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]uint64, 70)
+	for i := range want {
+		want[i] = make([]uint64, 2)
+		for j := range want[i] {
+			want[i][j] = T.Add(WX[i][j], bias[i])
+		}
+	}
+	eqMat(t, "packed bias add", yb.Decrypt(sk), want)
+
+	doubled, err := y.Add(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := y.ScalarMul(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqMat(t, "packed y+y", doubled.Decrypt(sk), sm.Decrypt(sk))
+
+	// CumSum across the packed lanes (columns of W·X under ColMajor).
+	cs, err := y.CumSum(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCS := make([][]uint64, 70)
+	for i := range wantCS {
+		wantCS[i] = make([]uint64, 2)
+		wantCS[i][0] = WX[i][0]
+		wantCS[i][1] = T.Add(WX[i][0], WX[i][1])
+	}
+	eqMat(t, "packed cumsum", cs.Decrypt(sk), wantCS)
+}
+
+// TestInferencePipeline: matmul → bias → square activation (interactive
+// recrypt) → matmul → bias, bit-exact against the same composition over
+// ref.MatMul — the two-layer private-inference shape examples/inference
+// ships.
+func TestInferencePipeline(t *testing.T) {
+	p, rng, sk, ev := setup(t, 64)
+	T := p.T
+	W1 := testutil.Matrix(rng, 16, 64, p.T.Q)
+	b1 := testutil.Vector(rng, 16, p.T.Q)
+	W2 := testutil.Matrix(rng, 10, 16, p.T.Q)
+	b2 := testutil.Vector(rng, 10, p.T.Q)
+	X := testutil.Matrix(rng, 64, 3, p.T.Q) // batch of 3 inputs, ColMajor
+
+	pm1, err := ev.Prepare(W1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm2, err := ev.Prepare(W2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := Array(p, rng, sk, X, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := MatMul(Local(pm1), xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err = h.AddVector(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err = h.SquareRecrypt(rng, sk) // packed → dense, x² activation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Packed() {
+		t.Fatal("recrypted layer still packed")
+	}
+	out, err := MatMul(Local(pm2), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = out.AddVector(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cleartext reference composition.
+	L1, err := ref.MatMul(p.T.Q, W1, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range L1 {
+		for j := range L1[i] {
+			a := T.Add(L1[i][j], b1[i])
+			L1[i][j] = T.Mul(a, a)
+		}
+	}
+	L2, err := ref.MatMul(p.T.Q, W2, L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range L2 {
+		for j := range L2[i] {
+			L2[i][j] = T.Add(L2[i][j], b2[i])
+		}
+	}
+	eqMat(t, "two-layer inference", out.Decrypt(sk), L2)
+}
+
+// TestErrorPaths: every misuse class fails with its typed sentinel.
+func TestErrorPaths(t *testing.T) {
+	p, rng, sk, ev := setup(t, 64)
+	W := testutil.Matrix(rng, 16, 16, p.T.Q) // square: MatMul output is shaped like its input
+	pm, err := ev.Prepare(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Local(pm)
+	good, err := Array(p, rng, sk, testutil.Matrix(rng, 16, 2, p.T.Q), ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, err error, want error) {
+		t.Helper()
+		if !errors.Is(err, want) {
+			t.Errorf("%s: err = %v, want %v", name, err, want)
+		}
+	}
+
+	_, err = Array(p, rng, sk, nil, RowMajor)
+	check("empty array", err, ErrEmpty)
+	_, err = Array(p, rng, sk, [][]uint64{{1, 2}, {3}}, RowMajor)
+	check("ragged array", err, ErrRagged)
+	_, err = Vector(p, rng, sk, nil)
+	check("empty vector", err, ErrEmpty)
+
+	other, err := Array(p, rng, sk, testutil.Matrix(rng, 3, 3, p.T.Q), ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = good.Add(other)
+	check("shape mismatch add", err, ErrShape)
+	_, err = good.Add(good.T())
+	check("layout mismatch add", err, ErrShape)
+
+	packed, err := MatMul(b, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = good.Add(packed)
+	check("dense+packed add", err, ErrEncodingMix)
+	_, err = MatMul(b, packed)
+	check("packed matmul operand", err, ErrPackedOperand)
+	_, err = MatMul(b, other)
+	check("matmul inner mismatch", err, ErrShape)
+
+	_, err = good.CumSum(2)
+	check("bad axis", err, ErrShape)
+	_, err = good.CumSum(0) // ColMajor: axis 0 runs inside the vectors
+	check("unreachable axis", err, ErrAxisLayout)
+
+	_, err = good.AddVector([]uint64{1, 2, 3})
+	check("bias length", err, ErrShape)
+
+	hot := good.clone()
+	hot.setNoise(1000) // simulate a ciphertext far past its budget
+	_, err = MatMul(b, hot)
+	check("noise budget matmul", err, ErrNoiseBudget)
+	_, err = hot.ScalarMul(12345)
+	check("noise budget scalar", err, ErrNoiseBudget)
+}
+
+// TestNoiseAccounting: the analytic bound moves the way the op algebra
+// says it should, and stays under the decryption budget for the shapes
+// the examples use.
+func TestNoiseAccounting(t *testing.T) {
+	p, rng, sk, ev := setup(t, 64)
+	a, err := Array(p, rng, sk, testutil.Matrix(rng, 64, 2, p.T.Q), ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := a.NoiseBits()
+
+	sum, err := a.Add(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fresh + 1; math.Abs(sum.NoiseBits()-want) > 1e-9 {
+		t.Fatalf("x+x noise %f, want exactly one bit over %f", sum.NoiseBits(), fresh)
+	}
+
+	cs, err := a.CumSum(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fresh + 0.5*math.Log2(2); math.Abs(cs.NoiseBits()-want) > 1e-9 {
+		t.Fatalf("cumsum noise %f, want %f", cs.NoiseBits(), want)
+	}
+
+	pm, err := ev.Prepare(testutil.Matrix(rng, 64, 64, p.T.Q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MatMul(Local(pm), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NoiseBits() <= fresh {
+		t.Fatalf("matmul noise %f did not grow past fresh %f", out.NoiseBits(), fresh)
+	}
+	if out.NoiseBits() > out.BudgetBits() {
+		t.Fatalf("matmul noise %f over budget %f", out.NoiseBits(), out.BudgetBits())
+	}
+}

@@ -1,0 +1,68 @@
+package chamnp
+
+import (
+	"math/rand"
+	"testing"
+
+	"cham/internal/ref"
+	"cham/internal/testutil"
+)
+
+// FuzzEncMatrixShapes drives random matrix shapes, layouts, and values
+// through Array → MatMul → Decrypt and requires exact agreement with
+// the big.Int reference product — the shape logic (tiling, chunking,
+// lane layout, strided unpacking) must hold for every geometry, not
+// just the sizes the unit tests pin.
+func FuzzEncMatrixShapes(f *testing.F) {
+	p, _, sk, ev := setup(f, 64)
+
+	f.Add(uint8(1), uint8(1), uint8(0), uint8(0), uint64(1))
+	f.Add(uint8(64), uint8(64), uint8(1), uint8(1), uint64(42))
+	f.Add(uint8(70), uint8(90), uint8(2), uint8(0), uint64(7)) // multi-tile × multi-chunk
+	f.Add(uint8(3), uint8(65), uint8(1), uint8(1), uint64(99))
+
+	f.Fuzz(func(t *testing.T, wRowsRaw, wColsRaw, lanesRaw, layoutRaw uint8, seed uint64) {
+		wRows := int(wRowsRaw)%96 + 1
+		wCols := int(wColsRaw)%96 + 1
+		lanes := int(lanesRaw)%3 + 1
+		layout := RowMajor
+		if layoutRaw&1 == 1 {
+			layout = ColMajor
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+
+		W := testutil.Matrix(rng, wRows, wCols, p.T.Q)
+		pm, err := ev.Prepare(W)
+		if err != nil {
+			t.Fatalf("Prepare %dx%d: %v", wRows, wCols, err)
+		}
+		var X, want [][]uint64
+		if layout == ColMajor {
+			X = testutil.Matrix(rng, wCols, lanes, p.T.Q)
+			want, err = ref.MatMul(p.T.Q, W, X)
+		} else {
+			X = testutil.Matrix(rng, lanes, wCols, p.T.Q)
+			want, err = ref.MatMul(p.T.Q, X, ref.Transpose(W))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		xm, err := Array(p, rng, sk, X, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := MatMul(Local(pm), xm)
+		if err != nil {
+			t.Fatalf("MatMul W=%dx%d %s lanes=%d: %v", wRows, wCols, layout, lanes, err)
+		}
+		got := out.Decrypt(sk)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("W=%dx%d %s lanes=%d: [%d][%d] = %d, want %d",
+						wRows, wCols, layout, lanes, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	})
+}

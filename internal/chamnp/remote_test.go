@@ -1,0 +1,117 @@
+package chamnp
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"cham/internal/client"
+	"cham/internal/core"
+	"cham/internal/lwe"
+	"cham/internal/ref"
+	"cham/internal/rlwe"
+	"cham/internal/server"
+	"cham/internal/testutil"
+)
+
+// TestRemoteBackendMatchesLocal: a MatMul routed through a loopback
+// chamserve server is BIT-identical to the in-process path when both
+// run on the same packing keys — same Backend interface, same packed
+// ciphertexts — and both decrypt to the exact reference product.
+func TestRemoteBackendMatchesLocal(t *testing.T) {
+	p, rng, sk, _ := setup(t, 64)
+
+	s, err := server.New(server.Config{Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { ln.Close() })
+
+	cl, err := client.Dial(client.Config{Addr: ln.Addr().String(), Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	keys, err := lwe.GenPackingKeys(p, rng, sk, p.R.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SetupKeys(keys); err != nil {
+		t.Fatal(err)
+	}
+	// The local evaluator runs on the SAME keys the server holds, so the
+	// two paths are byte-for-byte the same computation.
+	ev, err := core.NewEvaluatorFromKeys(p, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	W := testutil.Matrix(rng, 40, 96, p.T.Q) // multi-chunk: 2 ciphertexts per lane
+	h, err := cl.RegisterMatrix(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ev.Prepare(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := Remote(cl, h, p)
+	if rb.Rows() != pm.Rows() || rb.Cols() != pm.Cols() || rb.Chunks() != pm.Chunks() {
+		t.Fatalf("handle shape %dx%d/%d differs from prepared %dx%d/%d",
+			rb.Rows(), rb.Cols(), rb.Chunks(), pm.Rows(), pm.Cols(), pm.Chunks())
+	}
+
+	for _, layout := range []Layout{ColMajor, RowMajor} {
+		var X [][]uint64
+		if layout == ColMajor {
+			X = testutil.Matrix(rng, 96, 3, p.T.Q)
+		} else {
+			X = testutil.Matrix(rng, 3, 96, p.T.Q)
+		}
+		xm, err := Array(p, rng, sk, X, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := MatMul(Local(pm), xm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := MatMul(rb, xm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !packedEqual(local, remote) {
+			t.Fatalf("%s: remote packed ciphertexts differ from local", layout)
+		}
+		var want [][]uint64
+		if layout == ColMajor {
+			want, err = ref.MatMul(p.T.Q, W, X)
+		} else {
+			want, err = ref.MatMul(p.T.Q, X, ref.Transpose(W))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqMat(t, layout.String()+" remote", remote.Decrypt(sk), want)
+	}
+
+	// Misuse fails up front with the core sentinels, before any network
+	// write: a short vector and a misshaped result slice.
+	bad := [][]*rlwe.Ciphertext{{nil}}
+	if err := rb.ApplyBatchInto([]*core.Result{rb.NewResult()}, bad); !errors.Is(err, core.ErrVectorLength) {
+		t.Errorf("short vector: err = %v, want ErrVectorLength", err)
+	}
+	goodVec := core.EncryptVector(p, rng, sk, testutil.Vector(rng, 96, p.T.Q))
+	if err := rb.ApplyBatchInto([]*core.Result{nil}, [][]*rlwe.Ciphertext{goodVec}); !errors.Is(err, core.ErrResultShape) {
+		t.Errorf("nil result: err = %v, want ErrResultShape", err)
+	}
+	if err := rb.ApplyBatchInto(nil, nil); !errors.Is(err, core.ErrVectorLength) {
+		t.Errorf("empty batch: err = %v, want ErrVectorLength", err)
+	}
+}

@@ -320,20 +320,11 @@ func (pm *PreparedMatrix) ApplyIntoSink(res *Result, ctV []*rlwe.Ciphertext, sin
 
 func (pm *PreparedMatrix) applyInto(res *Result, ctV []*rlwe.Ciphertext, sink obs.StageSink) error {
 	e := pm.ev
-	if len(ctV) != pm.chunks {
-		return fmt.Errorf("%w: matrix has %d column chunks but vector has %d ciphertexts", ErrVectorLength, pm.chunks, len(ctV))
+	if err := pm.validateVector(ctV); err != nil {
+		return err
 	}
-	if len(res.Packed) != len(pm.tiles) {
-		return fmt.Errorf("%w: result holds %d tiles, want %d", ErrResultShape, len(res.Packed), len(pm.tiles))
-	}
-	for ti, ct := range res.Packed {
-		if ct == nil || ct.B == nil || ct.A == nil {
-			return fmt.Errorf("%w: result tile %d is nil; allocate with NewResult", ErrResultShape, ti)
-		}
-		if ct.B.Levels() != e.P.NormalLevels || ct.A.Levels() != e.P.NormalLevels ||
-			len(ct.B.Coeffs[0]) != e.P.R.N || len(ct.A.Coeffs[0]) != e.P.R.N {
-			return fmt.Errorf("%w: result tile %d has the wrong shape; allocate with NewResult", ErrResultShape, ti)
-		}
+	if err := pm.validateResult(res); err != nil {
+		return err
 	}
 	for ti, t := range pm.tiles {
 		if t == nil {
@@ -392,8 +383,8 @@ func (pm *PreparedMatrix) ApplyTilesSink(out []*rlwe.Ciphertext, tiles []int, ct
 
 func (pm *PreparedMatrix) applyTiles(out []*rlwe.Ciphertext, tiles []int, ctV []*rlwe.Ciphertext, sink obs.StageSink) error {
 	e := pm.ev
-	if len(ctV) != pm.chunks {
-		return fmt.Errorf("%w: matrix has %d column chunks but vector has %d ciphertexts", ErrVectorLength, pm.chunks, len(ctV))
+	if err := pm.validateVector(ctV); err != nil {
+		return err
 	}
 	if len(out) != len(tiles) {
 		return fmt.Errorf("%w: %d output slots for %d tiles", ErrResultShape, len(out), len(tiles))
@@ -546,6 +537,9 @@ func (e *Evaluator) loadVector(sc *applyScratch, ctV []*rlwe.Ciphertext) error {
 	r := e.P.R
 	sc.clk.Start()
 	for c, ct := range ctV {
+		if ct == nil || ct.B == nil || ct.A == nil {
+			return fmt.Errorf("%w: vector ciphertext %d is nil", ErrVectorLength, c)
+		}
 		if ct.Levels() != r.Levels() {
 			return fmt.Errorf("%w: vector ciphertext %d", ErrVectorBasis, c)
 		}

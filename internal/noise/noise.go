@@ -159,6 +159,32 @@ func (e *Estimator) HMVPOutput(m int) float64 {
 	return e.AfterPackDeferred(res, m)
 }
 
+// HMVPPredictor returns a closure predicting the packed output noise of
+// an HMVP over an m-row tile (the AfterMulPlain→AfterRescale→
+// AfterPackDeferred chain of HMVPOutput) as a function of the INPUT
+// ciphertext's noise bound. All parameter-dependent terms — the
+// full-range plaintext bound t/2, the rescale constants, the deferred
+// tree's key-switch total — are precomputed, so the closure itself
+// performs no heap allocation: hot paths (the chamnp MatMul gate) can
+// re-check the budget per call without breaking their 0-alloc warm
+// invariant. Tests pin it bit-equal to the composed methods.
+func (e *Estimator) HMVPPredictor(m int) func(base float64) float64 {
+	mulBits := log2(float64(e.P.T.Q) / 2 * math.Sqrt(e.n()))
+	logP := log2(float64(e.P.R.Moduli[e.P.R.Levels()-1].Q))
+	round := log2(e.Slack * math.Sqrt(e.n()) / 2)
+	levels := 0
+	for v := 1; v < m; v <<= 1 {
+		levels++
+	}
+	ksTotal := e.KeySwitchAdditiveDeferred() + float64(levels)
+	flush := log2(e.Slack / 2)
+	lv := float64(levels)
+	return func(base float64) float64 {
+		rescaled := maxF(base+mulBits-logP, round) + 0.5
+		return log2(math.Pow(2, rescaled+lv) + math.Pow(2, ksTotal) + math.Pow(2, flush))
+	}
+}
+
 // MaxPackRows returns the largest power-of-two tile that keeps the
 // end-to-end HMVP noise below the decryption budget.
 func (e *Estimator) MaxPackRows() int {

@@ -245,3 +245,26 @@ func expectedRescaledPayload(p bfv.Params, a, b *bfv.Plaintext) []*big.Int {
 	}
 	return out
 }
+
+// TestHMVPPredictorMatchesComposition: the precomputed allocation-free
+// predictor must agree exactly with the composed method chain it
+// specializes, for every tile size and a spread of input noise levels.
+func TestHMVPPredictorMatchesComposition(t *testing.T) {
+	p, est, _, _ := testSetup(t, 64)
+	for m := 1; m <= p.R.N; m <<= 1 {
+		pred := est.HMVPPredictor(m)
+		for _, base := range []float64{est.FreshSym(), 10, 25.5, 60} {
+			want := est.AfterPackDeferred(est.AfterRescale(est.AfterMulPlain(base, float64(p.T.Q)/2)), m)
+			if got := pred(base); got != want {
+				t.Fatalf("m=%d base=%.1f: predictor %v, composition %v", m, base, got, want)
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = est.HMVPPredictor(64) }); allocs > 1 {
+		t.Errorf("building the predictor allocates %.1f/op", allocs)
+	}
+	pred := est.HMVPPredictor(64)
+	if allocs := testing.AllocsPerRun(100, func() { _ = pred(20) }); allocs != 0 {
+		t.Errorf("predictor call allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,72 @@
+package ref
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// MatMul is the big.Int reference for the matrix-matrix workloads the
+// chamnp tier opens: C = A·B mod t, with every inner product accumulated
+// exactly in arbitrary precision before a single final reduction, so no
+// intermediate wrap can mask an implementation bug. A is m×k, B is k×n
+// (both row-major); the result is m×n. Compositions of HMVP batches —
+// an encrypted matmul is one HMVP per column block — are verified
+// bit-for-bit against compositions of this function.
+func MatMul(t uint64, A, B [][]uint64) ([][]uint64, error) {
+	m := len(A)
+	if m == 0 || len(A[0]) == 0 {
+		return nil, fmt.Errorf("ref: empty left matrix")
+	}
+	k := len(A[0])
+	if len(B) != k {
+		return nil, fmt.Errorf("ref: inner dimensions %d and %d differ", k, len(B))
+	}
+	if len(B[0]) == 0 {
+		return nil, fmt.Errorf("ref: empty right matrix")
+	}
+	n := len(B[0])
+	for i := range A {
+		if len(A[i]) != k {
+			return nil, fmt.Errorf("ref: left row %d has %d columns, want %d", i, len(A[i]), k)
+		}
+	}
+	for i := range B {
+		if len(B[i]) != n {
+			return nil, fmt.Errorf("ref: right row %d has %d columns, want %d", i, len(B[i]), n)
+		}
+	}
+	tBig := new(big.Int).SetUint64(t)
+	acc := new(big.Int)
+	term := new(big.Int)
+	C := make([][]uint64, m)
+	for i := range C {
+		C[i] = make([]uint64, n)
+		for j := 0; j < n; j++ {
+			acc.SetUint64(0)
+			for l := 0; l < k; l++ {
+				term.SetUint64(A[i][l] % t)
+				term.Mul(term, new(big.Int).SetUint64(B[l][j]%t))
+				acc.Add(acc, term)
+			}
+			C[i][j] = acc.Mod(acc, tBig).Uint64()
+		}
+	}
+	return C, nil
+}
+
+// Transpose returns the row-major transpose of a rectangular matrix —
+// the cleartext counterpart of chamnp's free layout-flip transpose,
+// used when composing RowMajor MatMul expectations (X·Wᵀ).
+func Transpose(A [][]uint64) [][]uint64 {
+	if len(A) == 0 || len(A[0]) == 0 {
+		return nil
+	}
+	out := make([][]uint64, len(A[0]))
+	for j := range out {
+		out[j] = make([]uint64, len(A))
+		for i := range A {
+			out[j][i] = A[i][j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package ref
+
+import (
+	"testing"
+
+	"cham/internal/bfv"
+	"cham/internal/core"
+	"cham/internal/testutil"
+)
+
+// TestMatMulHandChecked pins a small case computed by hand.
+func TestMatMulHandChecked(t *testing.T) {
+	const mod = 17
+	A := [][]uint64{{1, 2}, {3, 4}}
+	B := [][]uint64{{5, 6}, {7, 8}}
+	C, err := MatMul(mod, A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]uint64{{19 % mod, 22 % mod}, {43 % mod, 50 % mod}}
+	for i := range want {
+		for j := range want[i] {
+			if C[i][j] != want[i][j] {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, C[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestMatMulAgainstPlainMatVec: every column of MatMul must equal the
+// core package's cleartext mat-vec of that column — the same invariant
+// the encrypted tier relies on (a matmul is one HMVP per column).
+func TestMatMulAgainstPlainMatVec(t *testing.T) {
+	p, err := bfv.NewChamParams(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := testutil.NewRand(t)
+	A := testutil.Matrix(rng, 9, 13, p.T.Q)
+	B := testutil.Matrix(rng, 13, 5, p.T.Q)
+	C, err := MatMul(p.T.Q, A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Bt := Transpose(B)
+	for j := 0; j < 5; j++ {
+		want := core.PlainMatVec(p, A, Bt[j])
+		for i := range want {
+			if C[i][j] != want[i] {
+				t.Fatalf("column %d row %d: %d want %d", j, i, C[i][j], want[i])
+			}
+		}
+	}
+}
+
+// TestMatMulShapeErrors: ragged and mismatched inputs are rejected.
+func TestMatMulShapeErrors(t *testing.T) {
+	if _, err := MatMul(17, nil, nil); err == nil {
+		t.Error("empty A: no error")
+	}
+	if _, err := MatMul(17, [][]uint64{{1, 2}}, [][]uint64{{1}}); err == nil {
+		t.Error("inner mismatch: no error")
+	}
+	if _, err := MatMul(17, [][]uint64{{1, 2}, {3}}, [][]uint64{{1}, {2}}); err == nil {
+		t.Error("ragged A: no error")
+	}
+	if _, err := MatMul(17, [][]uint64{{1}}, [][]uint64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged B: no error")
+	}
+}
+
+// TestTransposeRoundTrip: Transpose∘Transpose is the identity.
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := testutil.NewRand(t)
+	A := testutil.Matrix(rng, 4, 7, 1<<16)
+	At := Transpose(A)
+	if len(At) != 7 || len(At[0]) != 4 {
+		t.Fatalf("transpose shape %dx%d, want 7x4", len(At), len(At[0]))
+	}
+	Att := Transpose(At)
+	for i := range A {
+		for j := range A[i] {
+			if Att[i][j] != A[i][j] {
+				t.Fatalf("round trip differs at %d,%d", i, j)
+			}
+		}
+	}
+}
